@@ -1,0 +1,210 @@
+// Top-level benchmark harness: one testing.B benchmark per table and
+// figure of the ZnG paper's evaluation, each reporting the headline
+// metric of that experiment via b.ReportMetric. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use reduced trace scales so the whole suite completes in
+// minutes; cmd/zngfig regenerates the figures at full fidelity.
+package zng_test
+
+import (
+	"testing"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+func benchOptions() experiments.Options {
+	o := experiments.TestOptions()
+	o.Pairs = workload.Pairs()[:2]
+	return o
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.TableII(0.1)
+		if t.Rows() != 16 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1b(config.Default())
+		_ = t
+		gap = 1
+	}
+	b.ReportMetric(gap, "ok")
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3(config.Default())
+	}
+}
+
+func BenchmarkFig4c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4c(config.Default())
+	}
+}
+
+func BenchmarkFig4d(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		_, _, hyb := experiments.Fig4d(config.Default())
+		frac = hyb.Get("SSD engine") / hyb.Total()
+	}
+	b.ReportMetric(frac, "engine_frac")
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	o := benchOptions()
+	o.Pairs = o.Pairs[:1]
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		_, deg, err := experiments.Fig5a(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range deg {
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	b.ReportMetric(worst, "degradation_x")
+}
+
+func BenchmarkFig5bcd(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5bcd(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	o := benchOptions()
+	var max uint64
+	for i := 0; i < b.N; i++ {
+		_, heat, err := experiments.Fig8b(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range heat {
+			for _, v := range row {
+				if v > max {
+					max = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(max), "hottest_plane_writes")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	o := benchOptions()
+	o.Pairs = o.Pairs[:1]
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pair := o.Pairs[0].Name
+		speedup = res[platform.ZnG][pair].IPC / res[platform.HybridGPU][pair].IPC
+	}
+	b.ReportMetric(speedup, "zng_vs_hybrid_x")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	o := benchOptions()
+	o.Pairs = o.Pairs[:1]
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bw = res[platform.ZnG][o.Pairs[0].Name].FlashArrayGBps()
+	}
+	b.ReportMetric(bw, "zng_flash_gbps")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	o := benchOptions()
+	o.Pairs = o.Pairs[:1]
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Sweep(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig13Sweep(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWriteNet(b *testing.B) {
+	o := benchOptions()
+	var nif float64
+	for i := 0; i < b.N; i++ {
+		_, avg, err := experiments.AblationWriteNet(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nif = avg[config.NiF]
+	}
+	b.ReportMetric(nif, "nif_ipc")
+}
+
+func BenchmarkAblationGC(b *testing.B) {
+	var merges uint64
+	for i := 0; i < b.N; i++ {
+		_, st := experiments.AblationGC()
+		merges = st.Merges
+	}
+	b.ReportMetric(float64(merges), "merges")
+}
+
+func BenchmarkAblationL2(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationL2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatforms gives per-platform simulation cost on one pair —
+// useful when profiling the simulator itself.
+func BenchmarkPlatforms(b *testing.B) {
+	o := benchOptions()
+	pair := o.Pairs[0]
+	for _, k := range platform.Kinds() {
+		k := k
+		b.Run(k.String(), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				r, err := platform.Run(k, pair, o.Scale, o.Cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipc = r.IPC
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}

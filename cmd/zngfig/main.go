@@ -1,0 +1,117 @@
+// Command zngfig regenerates the ZnG paper's tables and figures.
+//
+// Usage:
+//
+//	zngfig -fig fig10 [-scale 2.0] [-pairs betw-back,pr-gaus] [-workers 8]
+//	zngfig -fig all
+//
+// Figure ids: table1 table2 fig1b fig3 fig4c fig4d fig5a fig5bcd fig8b
+// fig10 fig11 fig12 fig13 abl-writenet abl-gc abl-l2 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zng/internal/experiments"
+	"zng/internal/stats"
+	"zng/internal/workload"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id to regenerate")
+		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
+		pairsCS = flag.String("pairs", "", "comma-separated co-run pairs (default: all 12)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	o.Scale = *scale
+	o.Workers = *workers
+	if *pairsCS != "" {
+		o.Pairs = nil
+		for _, name := range strings.Split(*pairsCS, ",") {
+			p, err := workload.PairByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			o.Pairs = append(o.Pairs, p)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"table1", "table2", "fig1b", "fig3", "fig4c", "fig4d",
+			"fig5a", "fig5bcd", "fig8b", "fig10", "fig11", "fig12", "fig13",
+			"abl-writenet", "abl-gc", "abl-l2"}
+	}
+	for _, id := range ids {
+		if err := run(id, o); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+	}
+}
+
+func run(id string, o experiments.Options) error {
+	var (
+		t   *stats.Table
+		err error
+	)
+	switch id {
+	case "table1":
+		t = experiments.TableI(o.Cfg)
+	case "table2":
+		t = experiments.TableII(min1(o.Scale))
+	case "fig1b":
+		t = experiments.Fig1b(o.Cfg)
+	case "fig3":
+		t = experiments.Fig3(o.Cfg)
+	case "fig4c":
+		t = experiments.Fig4c(o.Cfg)
+	case "fig4d":
+		t, _, _ = experiments.Fig4d(o.Cfg)
+	case "fig5a":
+		t, _, err = experiments.Fig5a(o)
+	case "fig5bcd":
+		t, err = experiments.Fig5bcd(o)
+	case "fig8b":
+		t, _, err = experiments.Fig8b(o)
+	case "fig10":
+		t, _, err = experiments.Fig10(o)
+	case "fig11":
+		t, _, err = experiments.Fig11(o)
+	case "fig12":
+		t, err = experiments.Fig12(o)
+	case "fig13":
+		t, _, err = experiments.Fig13Sweep(o)
+	case "abl-writenet":
+		t, _, err = experiments.AblationWriteNet(o)
+	case "abl-gc":
+		t, _ = experiments.AblationGC()
+	case "abl-l2":
+		t, _, err = experiments.AblationL2(o)
+	default:
+		return fmt.Errorf("unknown figure id %q", id)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func min1(s float64) float64 {
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zngfig:", err)
+	os.Exit(1)
+}

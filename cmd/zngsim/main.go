@@ -1,0 +1,97 @@
+// Command zngsim runs one platform on one co-run workload and prints
+// the full measurement set — the low-level tool behind zngfig.
+//
+// Usage:
+//
+//	zngsim -platform ZnG -pair betw-back -scale 2.0
+//	zngsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+func main() {
+	var (
+		plat  = flag.String("platform", "ZnG", "platform: Hetero, HybridGPU, Optane, ZnG-base, ZnG-rdopt, ZnG-wropt, ZnG, GDDR5")
+		pair  = flag.String("pair", "betw-back", "co-run workload pair")
+		scale = flag.Float64("scale", experiments.DefaultScale, "trace scale")
+		list  = flag.Bool("list", false, "list platforms and pairs")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("platforms: GDDR5", joinKinds())
+		fmt.Print("pairs:")
+		for _, p := range workload.Pairs() {
+			fmt.Print(" ", p.Name)
+		}
+		fmt.Println()
+		return
+	}
+
+	kind, err := parseKind(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := workload.PairByName(*pair)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := platform.Run(kind, p, *scale, config.Default())
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("platform:   %s\n", r.Kind)
+	fmt.Printf("workload:   %s (scale %.2f)\n", r.Pair, *scale)
+	fmt.Printf("IPC:        %.4f\n", r.IPC)
+	fmt.Printf("cycles:     %d (%.3f ms simulated)\n", r.Cycles, config.TicksToNs(r.Cycles)/1e6)
+	fmt.Printf("insts:      %d\n", r.Insts)
+	fmt.Printf("L2 hit:     %.3f\n", r.L2HitRate)
+	fmt.Printf("TLB hit:    %.3f\n", r.TLBHitRate)
+	if r.FlashArrayGBps() > 0 {
+		fmt.Printf("flash BW:   %.2f GB/s read, %.2f GB/s write\n", r.FlashReadGBps, r.FlashWriteGBps)
+	}
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-18s %.6g\n", k, r.Extra[k])
+	}
+}
+
+func joinKinds() string {
+	s := ""
+	for _, k := range platform.Kinds() {
+		s += " " + k.String()
+	}
+	return s
+}
+
+func parseKind(s string) (platform.Kind, error) {
+	if s == "GDDR5" {
+		return platform.GDDR5, nil
+	}
+	for _, k := range platform.Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown platform %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zngsim:", err)
+	os.Exit(1)
+}

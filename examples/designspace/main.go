@@ -1,0 +1,48 @@
+// Design space: explore two of ZnG's design choices — the prefetch
+// waste thresholds of Section V-D and the flash-register interconnect
+// of Section IV-C (SWnet vs FCnet vs NiF).
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zng/internal/experiments"
+)
+
+func main() {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.25 // keep the example quick
+	// Scale the L2s with the trace so the prefetch monitor actually
+	// sees eviction pressure (full-scale runs use the Table I sizes).
+	o.Cfg.L2SRAM.Sets /= 8
+	o.Cfg.L2STT.Sets /= 8
+
+	fmt.Println("Sweeping prefetch waste thresholds (Section V-D)...")
+	sweep, grid, err := experiments.Fig13Sweep(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sweep)
+
+	best := [2]float64{}
+	bestIPC := 0.0
+	for k, v := range grid {
+		if v > bestIPC {
+			bestIPC = v
+			best = k
+		}
+	}
+	fmt.Printf("best thresholds: high=%.2f low=%.2f (paper: 0.3 / 0.05)\n\n", best[0], best[1])
+
+	fmt.Println("Comparing register interconnects (Section IV-C)...")
+	nets, _, err := experiments.AblationWriteNet(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(nets)
+	fmt.Println("NiF should match FCnet closely at a fraction of its wiring cost,")
+	fmt.Println("while SWnet pays for routing migrations through the flash network.")
+}

@@ -1,0 +1,46 @@
+// Graph analytics: run three graph-analysis co-run workloads across
+// the memory architectures the paper compares (Hetero, HybridGPU,
+// Optane, ZnG) and print the normalized-IPC table — a miniature
+// Fig. 10.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/stats"
+	"zng/internal/workload"
+)
+
+func main() {
+	cfg := config.Default()
+	kinds := []platform.Kind{platform.Hetero, platform.HybridGPU, platform.Optane, platform.ZnG}
+	pairs := []string{"bfs1-gaus", "pr-gaus", "sssp3-gram"}
+	const scale = 0.25
+
+	t := stats.NewTable("Normalized IPC (ZnG = 1.0)",
+		"workload", "Hetero", "HybridGPU", "Optane", "ZnG")
+	for _, name := range pairs {
+		pair, err := workload.PairByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc := map[platform.Kind]float64{}
+		for _, k := range kinds {
+			r, err := platform.Run(k, pair, scale, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ipc[k] = r.IPC
+		}
+		ref := ipc[platform.ZnG]
+		t.AddRow(name, ipc[platform.Hetero]/ref, ipc[platform.HybridGPU]/ref,
+			ipc[platform.Optane]/ref, 1.0)
+	}
+	fmt.Println(t)
+	fmt.Println("Expected shape: ZnG > Optane > HybridGPU ~ Hetero (Fig. 10).")
+}

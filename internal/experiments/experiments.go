@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the ZnG
+// paper's evaluation (Section V) plus the ablations DESIGN.md calls
+// out. Each driver returns a stats.Table holding the same rows or
+// series the paper plots; EXPERIMENTS.md records paper-vs-measured for
+// each.
+//
+// Absolute numbers are not expected to match the authors' testbed —
+// the substrate here is a from-scratch simulator with synthetic traces
+// — but the shapes (who wins, by roughly what factor, where the
+// crossovers sit) are asserted by this package's tests.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+// Options parameterize a run.
+type Options struct {
+	// Scale multiplies the Table II trace budgets. The figure defaults
+	// use 2.0 so working sets clearly exceed the 24 MB STT-MRAM L2;
+	// tests and benchmarks use small fractions.
+	Scale float64
+	Cfg   config.Config
+	Pairs []workload.Pair
+	// Workers bounds simulation parallelism (0 = NumCPU). Individual
+	// simulations stay single-threaded and deterministic.
+	Workers int
+}
+
+// DefaultScale is the figure-quality trace scale.
+const DefaultScale = 2.0
+
+// DefaultOptions returns full-fidelity settings.
+func DefaultOptions() Options {
+	return Options{Scale: DefaultScale, Cfg: config.Default(), Pairs: workload.Pairs()}
+}
+
+// TestOptions returns a fast, scaled-down variant for tests and
+// benchmarks: traces shrink and the L2s shrink with them (preserving
+// the 4x STT:SRAM capacity ratio of Table I) so cache pressure stays
+// realistic.
+func TestOptions() Options {
+	o := DefaultOptions()
+	o.Scale = 0.12
+	o.Cfg.GPU.SMs = 8
+	o.Cfg.L2SRAM.Sets /= 8
+	o.Cfg.L2STT.Sets /= 8
+	o.Pairs = workload.Pairs()[:3]
+	return o
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+type cell struct {
+	kind platform.Kind
+	pair workload.Pair
+}
+
+// runMatrix simulates every (kind, pair) combination in parallel and
+// returns results keyed by kind and pair name.
+func runMatrix(o Options, kinds []platform.Kind) (map[platform.Kind]map[string]platform.Result, error) {
+	var cells []cell
+	for _, k := range kinds {
+		for _, p := range o.Pairs {
+			cells = append(cells, cell{k, p})
+		}
+	}
+	out := make(map[platform.Kind]map[string]platform.Result)
+	for _, k := range kinds {
+		out[k] = make(map[string]platform.Result)
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	sem := make(chan struct{}, o.workers())
+	for _, c := range cells {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			r, err := platform.Run(c.kind, c.pair, o.Scale, o.Cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%v on %s: %w", c.kind, c.pair.Name, err)
+				return
+			}
+			out[c.kind][c.pair.Name] = r
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// runOne simulates a single combination.
+func runOne(o Options, k platform.Kind, pairName string) (platform.Result, error) {
+	p, err := workload.PairByName(pairName)
+	if err != nil {
+		return platform.Result{}, err
+	}
+	return platform.Run(k, p, o.Scale, o.Cfg)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"zng/internal/platform"
+)
+
+// TestMatrixMatchesSerialRuns confirms that the parallel harness does
+// not perturb results: each cell of a matrix equals an independent
+// serial simulation (simulations are single-goroutine; only the
+// harness fans out).
+func TestMatrixMatchesSerialRuns(t *testing.T) {
+	o := TestOptions()
+	o.Pairs = o.Pairs[:2]
+	o.Workers = 4
+	kinds := []platform.Kind{platform.Optane, platform.ZnG}
+	res, err := runMatrix(o, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kinds {
+		for _, p := range o.Pairs {
+			serial, err := runOne(o, k, p.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res[k][p.Name]
+			if got.IPC != serial.IPC || got.Cycles != serial.Cycles || got.Insts != serial.Insts {
+				t.Errorf("%v/%s: matrix %+v != serial %+v", k, p.Name, got.IPC, serial.IPC)
+			}
+		}
+	}
+}
+
+func TestRunOneUnknownPair(t *testing.T) {
+	o := TestOptions()
+	if _, err := runOne(o, platform.ZnG, "nope"); err == nil {
+		t.Error("want error for unknown pair")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.Scale != DefaultScale || len(o.Pairs) != 12 {
+		t.Errorf("defaults: %+v", o)
+	}
+	if o.workers() < 1 {
+		t.Error("workers must be positive")
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zng/internal/config"
+	"zng/internal/flash"
+	"zng/internal/ftl"
+	"zng/internal/platform"
+	"zng/internal/sim"
+	"zng/internal/stats"
+)
+
+// Fig13Sweep reproduces the Section V-D sensitivity study: sweep the
+// access monitor's high and low waste thresholds and report ZnG IPC on
+// betw-back. The paper lands on high=0.3, low=0.05.
+func Fig13Sweep(o Options) (*stats.Table, map[[2]float64]float64, error) {
+	highs := []float64{0.1, 0.3, 0.5, 0.8}
+	lows := []float64{0.01, 0.05, 0.2}
+	t := stats.NewTable("Fig. 13 (Sec V-D): prefetch threshold sweep, ZnG IPC on betw-back",
+		"high \\ low", fmt.Sprint(lows[0]), fmt.Sprint(lows[1]), fmt.Sprint(lows[2]))
+	out := map[[2]float64]float64{}
+	for _, hi := range highs {
+		row := []any{fmt.Sprint(hi)}
+		for _, lo := range lows {
+			oo := o
+			oo.Cfg.Prefetch.HighWaste = hi
+			oo.Cfg.Prefetch.LowWaste = lo
+			r, err := runOne(oo, platform.ZnG, "betw-back")
+			if err != nil {
+				return nil, nil, err
+			}
+			out[[2]float64{hi, lo}] = r.IPC
+			row = append(row, r.IPC)
+		}
+		t.AddRow(row...)
+	}
+	return t, out, nil
+}
+
+// AblationWriteNet compares the three flash-register interconnects of
+// Section IV-C — SWnet, FCnet and NiF — on the write-heavy pairs.
+func AblationWriteNet(o Options) (*stats.Table, map[config.RegCacheNet]float64, error) {
+	nets := []config.RegCacheNet{config.SWnet, config.FCnet, config.NiF}
+	pairs := []string{"betw-back", "bfs4-back"}
+	t := stats.NewTable("Ablation A: register interconnect (ZnG IPC)",
+		"workload", "SWnet", "FCnet", "NiF", "migrations (NiF)")
+	avg := map[config.RegCacheNet]float64{}
+	for _, pn := range pairs {
+		row := []any{pn}
+		var migr float64
+		for _, net := range nets {
+			oo := o
+			oo.Cfg.RegCache.Net = net
+			r, err := runOne(oo, platform.ZnG, pn)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, r.IPC)
+			avg[net] += r.IPC / float64(len(pairs))
+			if net == config.NiF {
+				migr = r.Extra["reg_migrations"]
+			}
+		}
+		row = append(row, migr)
+		t.AddRow(row...)
+	}
+	return t, avg, nil
+}
+
+// GCStats summarizes the garbage-collection ablation.
+type GCStats struct {
+	Merges        uint64
+	MergePrograms uint64
+	StalledWrites uint64
+	MaxErase      int
+	FreeBlocks    int
+}
+
+// AblationGC hammers a deliberately tiny flash geometry with rewrites
+// to exercise the split FTL's helper-thread merges, and reports GC
+// cost and wear-levelling effectiveness.
+func AblationGC() (*stats.Table, GCStats) {
+	eng := sim.NewEngine()
+	fcfg := config.Default().Flash
+	fcfg.Channels = 4
+	fcfg.DiesPerPkg = 2
+	fcfg.PlanesPerDie = 2
+	fcfg.BlocksPerPl = 64
+	fcfg.PagesPerBlock = 16
+	fcfg.ReadLat, fcfg.ProgramLat, fcfg.EraseLat = 30, 1000, 3000
+	bb := flash.New(eng, fcfg)
+	split := ftl.NewSplit(eng, bb, config.Default().FTL)
+
+	const writes = 4000
+	for i := 0; i < writes; i++ {
+		va := uint64(i%64) * 4096
+		split.WritePage(va, nil)
+		eng.Run()
+	}
+	st := GCStats{
+		Merges:        split.Merges.Value(),
+		MergePrograms: split.MergePrograms.Value(),
+		StalledWrites: split.StalledWrites.Value(),
+		MaxErase:      split.MaxEraseCount(),
+		FreeBlocks:    split.FreeBlocks(),
+	}
+	t := stats.NewTable("Ablation B: split-FTL garbage collection",
+		"metric", "value")
+	t.AddRow("page writes", writes)
+	t.AddRow("log merges", st.Merges)
+	t.AddRow("merge programs", st.MergePrograms)
+	t.AddRow("stalled writes", st.StalledWrites)
+	t.AddRow("max block erase count", st.MaxErase)
+	t.AddRow("free blocks remaining", st.FreeBlocks)
+	t.AddRow("write amplification", float64(st.MergePrograms+uint64(writes))/float64(writes))
+	return t, st
+}
+
+// AblationL2 sweeps the ZnG L2 capacity: the 6 MB SRAM baseline, the
+// Table I 24 MB STT-MRAM, and half/double variants, on a read-heavy
+// pair.
+func AblationL2(o Options) (*stats.Table, map[int]float64, error) {
+	t := stats.NewTable("Ablation C: ZnG L2 capacity sweep (bfs1-gaus)",
+		"L2 config", "size (MB)", "IPC", "L2 hit rate")
+	out := map[int]float64{}
+	for _, mult := range []int{1, 2, 4, 8} {
+		oo := o
+		oo.Cfg.L2STT.Sets = oo.Cfg.L2SRAM.Sets * mult
+		r, err := runOne(oo, platform.ZnG, "bfs1-gaus")
+		if err != nil {
+			return nil, nil, err
+		}
+		sizeMB := oo.Cfg.L2STT.SizeBytes() >> 20
+		out[sizeMB] = r.IPC
+		t.AddRow(fmt.Sprintf("%dx SRAM sets", mult), sizeMB, r.IPC, r.L2HitRate)
+	}
+	return t, out, nil
+}

@@ -1,0 +1,277 @@
+// Package flash models the Z-NAND backbone of the ZnG paper: 16
+// channels x 1 package x 8 dies x 8 planes of single-level-cell
+// vertical NAND with 3 us reads, 100 us programs, 100k P/E endurance,
+// page-granularity access, in-order programming within a block, and
+// the erase-before-write rule (Section II-B).
+//
+// The package models geometry, per-plane timing and block state, and
+// the programmable row decoder of Section IV-A — the content-
+// addressable memory that remaps log-block pages without any SSD
+// firmware involvement. Mapping policy (which block holds what) lives
+// in internal/ftl; interconnect timing (channel bus or mesh) lives in
+// internal/noc and is wired by the platform.
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"zng/internal/config"
+	"zng/internal/sim"
+	"zng/internal/stats"
+)
+
+// Errors returned by plane state transitions.
+var (
+	ErrOutOfOrder   = errors.New("flash: program violates in-order page rule")
+	ErrNotErased    = errors.New("flash: program to a page that needs erase-before-write")
+	ErrWornOut      = errors.New("flash: block exceeded its P/E cycle budget")
+	ErrBadPage      = errors.New("flash: page index out of range")
+	ErrInvalidBlock = errors.New("flash: block index out of range")
+)
+
+// Backbone is the full flash array.
+type Backbone struct {
+	eng    *sim.Engine
+	Cfg    config.Flash
+	planes []*Plane
+
+	// Statistics for Figs. 1b, 8b and 11.
+	ArrayReads    stats.Counter
+	ArrayPrograms stats.Counter
+	Erases        stats.Counter
+}
+
+// New builds the backbone described by cfg.
+func New(eng *sim.Engine, cfg config.Flash) *Backbone {
+	b := &Backbone{eng: eng, Cfg: cfg}
+	n := cfg.Planes()
+	for i := 0; i < n; i++ {
+		b.planes = append(b.planes, &Plane{
+			bb:     b,
+			Index:  i,
+			res:    sim.NewResource(eng),
+			blocks: make(map[int]*Block),
+		})
+	}
+	return b
+}
+
+// Planes reports the plane count.
+func (b *Backbone) Planes() int { return len(b.planes) }
+
+// Plane returns plane i.
+func (b *Backbone) Plane(i int) *Plane { return b.planes[i] }
+
+// Plane index layout is channel-major:
+// plane = ((ch*pkgs + pkg)*dies + die)*planesPerDie + pl.
+
+// ChannelOf reports the channel a plane belongs to.
+func (b *Backbone) ChannelOf(plane int) int {
+	per := b.Cfg.PackagesPerCh * b.Cfg.DiesPerPkg * b.Cfg.PlanesPerDie
+	return plane / per
+}
+
+// PackageOf reports the global package index of a plane.
+func (b *Backbone) PackageOf(plane int) int {
+	per := b.Cfg.DiesPerPkg * b.Cfg.PlanesPerDie
+	return plane / per
+}
+
+// PlaneInDie reports the within-die plane index.
+func (b *Backbone) PlaneInDie(plane int) int { return plane % b.Cfg.PlanesPerDie }
+
+// Packages reports the global package count.
+func (b *Backbone) Packages() int { return b.Cfg.Channels * b.Cfg.PackagesPerCh }
+
+// TotalBytesRead reports array-sensed traffic (page-granularity).
+func (b *Backbone) TotalBytesRead() uint64 {
+	return b.ArrayReads.Value() * uint64(b.Cfg.PageBytes)
+}
+
+// TotalBytesProgrammed reports array-programmed traffic.
+func (b *Backbone) TotalBytesProgrammed() uint64 {
+	return b.ArrayPrograms.Value() * uint64(b.Cfg.PageBytes)
+}
+
+// Block is the per-block state machine.
+type Block struct {
+	WritePtr   int // next in-order programmable page; PagesPerBlock = full
+	EraseCount int
+	valid      []bool
+}
+
+// ValidCount reports programmed-and-valid pages (GC victim scoring).
+func (bl *Block) ValidCount() int {
+	n := 0
+	for _, v := range bl.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether a page holds live data.
+func (bl *Block) Valid(page int) bool {
+	return page < len(bl.valid) && bl.valid[page]
+}
+
+// Plane owns a set of blocks and a serialized array (one array
+// operation at a time, tR/tPROG/tERASE occupancy).
+type Plane struct {
+	bb    *Backbone
+	Index int
+	res   *sim.Resource
+
+	blocks map[int]*Block
+
+	Reads    uint64 // per-plane counters for the Fig. 8b heatmap
+	Programs uint64
+}
+
+// Block returns (lazily creating) block state.
+func (p *Plane) Block(i int) *Block {
+	if i < 0 || i >= p.bb.Cfg.BlocksPerPl {
+		panic(fmt.Sprintf("flash: block %d out of range", i))
+	}
+	bl, ok := p.blocks[i]
+	if !ok {
+		bl = &Block{valid: make([]bool, p.bb.Cfg.PagesPerBlock)}
+		p.blocks[i] = bl
+	}
+	return bl
+}
+
+// Preload marks a block fully programmed with valid data — the state
+// of data blocks at simulation start ("data initially resides in the
+// SSD").
+func (p *Plane) Preload(block int) {
+	bl := p.Block(block)
+	bl.WritePtr = p.bb.Cfg.PagesPerBlock
+	for i := range bl.valid {
+		bl.valid[i] = true
+	}
+}
+
+// Read senses one page from the array (tR) and then calls fn. Reading
+// never fails: preloaded and programmed pages both sense; the
+// simulator does not model data contents.
+func (p *Plane) Read(block, page int, fn func()) {
+	if page < 0 || page >= p.bb.Cfg.PagesPerBlock {
+		panic(ErrBadPage)
+	}
+	p.Reads++
+	p.bb.ArrayReads.Inc()
+	p.res.Acquire(p.bb.Cfg.ReadLat, fn)
+}
+
+// Program writes one page. It enforces Z-NAND's in-order programming:
+// page must equal the block's write pointer, and the block must not be
+// full (erase-before-write).
+func (p *Plane) Program(block, page int, fn func()) error {
+	if page < 0 || page >= p.bb.Cfg.PagesPerBlock {
+		return ErrBadPage
+	}
+	bl := p.Block(block)
+	if bl.WritePtr >= p.bb.Cfg.PagesPerBlock {
+		return ErrNotErased
+	}
+	if page != bl.WritePtr {
+		return ErrOutOfOrder
+	}
+	bl.WritePtr++
+	bl.valid[page] = true
+	p.Programs++
+	p.bb.ArrayPrograms.Inc()
+	p.res.Acquire(p.bb.Cfg.ProgramLat, fn)
+	return nil
+}
+
+// MarkInvalid drops a page's live-data mark (a newer version exists in
+// a log block or was merged elsewhere).
+func (p *Plane) MarkInvalid(block, page int) {
+	bl := p.Block(block)
+	if page >= 0 && page < len(bl.valid) {
+		bl.valid[page] = false
+	}
+}
+
+// Erase wipes a block (tERASE) and counts a P/E cycle. It fails once
+// the endurance budget is exhausted.
+func (p *Plane) Erase(block int, fn func()) error {
+	bl := p.Block(block)
+	if bl.EraseCount >= p.bb.Cfg.PECycles {
+		return ErrWornOut
+	}
+	bl.EraseCount++
+	bl.WritePtr = 0
+	for i := range bl.valid {
+		bl.valid[i] = false
+	}
+	p.bb.Erases.Inc()
+	p.res.Acquire(p.bb.Cfg.EraseLat, fn)
+	return nil
+}
+
+// ReadMany senses n pages of a block back to back (the sequential
+// read burst of a GC merge) as one array occupancy of n*tR.
+func (p *Plane) ReadMany(n int, fn func()) {
+	if n <= 0 {
+		p.res.Acquire(0, fn)
+		return
+	}
+	p.Reads += uint64(n)
+	p.bb.ArrayReads.Add(uint64(n))
+	p.res.Acquire(sim.Tick(n)*p.bb.Cfg.ReadLat, fn)
+}
+
+// ProgramRange programs n in-order pages starting at the block's write
+// pointer as one array occupancy of n*tPROG (the program burst of a GC
+// merge).
+func (p *Plane) ProgramRange(block, n int, fn func()) error {
+	if n <= 0 {
+		p.res.Acquire(0, fn)
+		return nil
+	}
+	bl := p.Block(block)
+	if bl.WritePtr+n > p.bb.Cfg.PagesPerBlock {
+		return ErrNotErased
+	}
+	for i := 0; i < n; i++ {
+		bl.valid[bl.WritePtr+i] = true
+	}
+	bl.WritePtr += n
+	p.Programs += uint64(n)
+	p.bb.ArrayPrograms.Add(uint64(n))
+	p.res.Acquire(sim.Tick(n)*p.bb.Cfg.ProgramLat, fn)
+	return nil
+}
+
+// PreloadPage marks a single page as holding valid pre-existing data,
+// advancing the write pointer past it (used by the page-mapped FTL,
+// which hands out preloaded pages one at a time).
+func (p *Plane) PreloadPage(block, page int) {
+	bl := p.Block(block)
+	if page < 0 || page >= p.bb.Cfg.PagesPerBlock {
+		panic(ErrBadPage)
+	}
+	bl.valid[page] = true
+	if bl.WritePtr <= page {
+		bl.WritePtr = page + 1
+	}
+}
+
+// BusyTicks reports the cumulative array occupancy of the plane.
+func (p *Plane) BusyTicks() sim.Tick { return p.res.BusyTicks() }
+
+// NextFree reports when the plane's array is next idle.
+func (p *Plane) NextFree() sim.Tick { return p.res.NextFree() }
+
+// EachBlock visits every block that has materialized state (blocks
+// never touched are skipped; they hold no data and no wear).
+func (p *Plane) EachBlock(f func(id int, bl *Block)) {
+	for id, bl := range p.blocks {
+		f(id, bl)
+	}
+}

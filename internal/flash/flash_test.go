@@ -1,0 +1,295 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zng/internal/config"
+	"zng/internal/sim"
+)
+
+func smallFlash() config.Flash {
+	cfg := config.Default().Flash
+	cfg.Channels = 2
+	cfg.DiesPerPkg = 2
+	cfg.PlanesPerDie = 2
+	cfg.BlocksPerPl = 8
+	cfg.PagesPerBlock = 4
+	return cfg
+}
+
+func TestGeometry(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, smallFlash())
+	if b.Planes() != 8 {
+		t.Fatalf("planes = %d, want 8", b.Planes())
+	}
+	if b.Packages() != 2 {
+		t.Fatalf("packages = %d", b.Packages())
+	}
+	if b.ChannelOf(0) != 0 || b.ChannelOf(7) != 1 {
+		t.Errorf("channel mapping: %d %d", b.ChannelOf(0), b.ChannelOf(7))
+	}
+	if b.PackageOf(3) != 0 || b.PackageOf(4) != 1 {
+		t.Errorf("package mapping: %d %d", b.PackageOf(3), b.PackageOf(4))
+	}
+	if b.PlaneInDie(3) != 1 {
+		t.Errorf("plane-in-die: %d", b.PlaneInDie(3))
+	}
+}
+
+func TestReadTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	p := b.Plane(0)
+	p.Preload(0)
+	var at sim.Tick
+	p.Read(0, 2, func() { at = eng.Now() })
+	eng.Run()
+	if at != cfg.ReadLat {
+		t.Errorf("read completed at %d, want tR=%d", at, cfg.ReadLat)
+	}
+	if b.ArrayReads.Value() != 1 || p.Reads != 1 {
+		t.Errorf("read counters: %d/%d", b.ArrayReads.Value(), p.Reads)
+	}
+}
+
+func TestPlaneSerializesArrayOps(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	p := b.Plane(0)
+	var t1, t2 sim.Tick
+	p.Read(0, 0, func() { t1 = eng.Now() })
+	p.Read(0, 1, func() { t2 = eng.Now() })
+	eng.Run()
+	if t2-t1 != cfg.ReadLat {
+		t.Errorf("second read must wait for the array: t1=%d t2=%d", t1, t2)
+	}
+}
+
+func TestPlanesOperateInParallel(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	var t1, t2 sim.Tick
+	b.Plane(0).Read(0, 0, func() { t1 = eng.Now() })
+	b.Plane(1).Read(0, 0, func() { t2 = eng.Now() })
+	eng.Run()
+	if t1 != t2 {
+		t.Errorf("independent planes must not serialize: %d vs %d", t1, t2)
+	}
+}
+
+func TestInOrderProgramming(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, smallFlash())
+	p := b.Plane(0)
+	if err := p.Program(0, 1, nil); err != ErrOutOfOrder {
+		t.Errorf("out-of-order program: err = %v, want ErrOutOfOrder", err)
+	}
+	if err := p.Program(0, 0, nil); err != nil {
+		t.Errorf("in-order program failed: %v", err)
+	}
+	if err := p.Program(0, 1, nil); err != nil {
+		t.Errorf("next in-order program failed: %v", err)
+	}
+	eng.Run()
+	if got := p.Block(0).WritePtr; got != 2 {
+		t.Errorf("write pointer = %d, want 2", got)
+	}
+}
+
+func TestEraseBeforeWrite(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	p := b.Plane(0)
+	for i := 0; i < cfg.PagesPerBlock; i++ {
+		if err := p.Program(0, i, nil); err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+	}
+	if err := p.Program(0, 0, nil); err != ErrNotErased {
+		t.Errorf("program to full block: err = %v, want ErrNotErased", err)
+	}
+	if err := p.Erase(0, nil); err != nil {
+		t.Fatalf("erase: %v", err)
+	}
+	if err := p.Program(0, 0, nil); err != nil {
+		t.Errorf("program after erase: %v", err)
+	}
+	eng.Run()
+	if p.Block(0).EraseCount != 1 {
+		t.Errorf("erase count = %d", p.Block(0).EraseCount)
+	}
+}
+
+func TestPECyclesEnforced(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	cfg.PECycles = 2
+	b := New(eng, cfg)
+	p := b.Plane(0)
+	for i := 0; i < 2; i++ {
+		if err := p.Erase(0, nil); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	if err := p.Erase(0, nil); err != ErrWornOut {
+		t.Errorf("worn block erase: err = %v, want ErrWornOut", err)
+	}
+	eng.Run()
+}
+
+func TestProgramSlowerThanRead(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	p := b.Plane(0)
+	var readAt, progAt sim.Tick
+	p.Read(1, 0, func() { readAt = eng.Now() })
+	eng.Run()
+	e2 := sim.NewEngine()
+	b2 := New(e2, cfg)
+	p2 := b2.Plane(0)
+	if err := p2.Program(1, 0, func() { progAt = e2.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e2.Run()
+	if progAt <= readAt {
+		t.Errorf("tPROG (%d) must exceed tR (%d)", progAt, readAt)
+	}
+	_ = p
+}
+
+func TestValidityTracking(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, smallFlash())
+	p := b.Plane(0)
+	p.Preload(3)
+	bl := p.Block(3)
+	if got := bl.ValidCount(); got != 4 {
+		t.Fatalf("preloaded valid = %d, want 4", got)
+	}
+	p.MarkInvalid(3, 1)
+	p.MarkInvalid(3, 2)
+	if got := bl.ValidCount(); got != 2 {
+		t.Errorf("valid after invalidations = %d, want 2", got)
+	}
+	if bl.Valid(1) || !bl.Valid(0) {
+		t.Error("per-page validity wrong")
+	}
+	eng.Run()
+}
+
+func TestBadIndexesPanicOrError(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, smallFlash())
+	p := b.Plane(0)
+	if err := p.Program(0, 99, nil); err != ErrBadPage {
+		t.Errorf("bad page program err = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic for out-of-range block")
+			}
+		}()
+		p.Block(99)
+	}()
+	_ = eng
+}
+
+func TestBackboneTrafficAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallFlash()
+	b := New(eng, cfg)
+	b.Plane(0).Read(0, 0, nil)
+	b.Plane(1).Read(0, 0, nil)
+	if err := b.Plane(2).Program(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if b.TotalBytesRead() != uint64(2*cfg.PageBytes) {
+		t.Errorf("bytes read = %d", b.TotalBytesRead())
+	}
+	if b.TotalBytesProgrammed() != uint64(cfg.PageBytes) {
+		t.Errorf("bytes programmed = %d", b.TotalBytesProgrammed())
+	}
+}
+
+func TestRowDecoderCAM(t *testing.T) {
+	d := NewRowDecoder(4)
+	if _, ok := d.Lookup(42); ok {
+		t.Error("empty CAM lookup must miss")
+	}
+	s0, ok := d.Insert(42)
+	if !ok || s0 != 0 {
+		t.Fatalf("first insert: slot=%d ok=%v", s0, ok)
+	}
+	s1, _ := d.Insert(43)
+	if s1 != 1 {
+		t.Errorf("in-order slot allocation: got %d", s1)
+	}
+	// Re-insert supersedes: new slot, old becomes stale.
+	s2, _ := d.Insert(42)
+	if s2 != 2 {
+		t.Errorf("reinsert slot = %d, want 2", s2)
+	}
+	if got, _ := d.Lookup(42); got != 2 {
+		t.Errorf("lookup after reinsert = %d, want 2", got)
+	}
+	if d.Live() != 2 || d.Used() != 3 {
+		t.Errorf("live/used = %d/%d, want 2/3", d.Live(), d.Used())
+	}
+	if d.Full() {
+		t.Error("not full yet")
+	}
+	d.Insert(44)
+	if !d.Full() {
+		t.Error("should be full at capacity 4")
+	}
+	if _, ok := d.Insert(45); ok {
+		t.Error("insert into full decoder must fail")
+	}
+	keys := d.Keys()
+	if len(keys) != 3 {
+		t.Errorf("keys = %v", keys)
+	}
+	d.Reset()
+	if d.Used() != 0 || d.Live() != 0 || d.Full() {
+		t.Error("reset did not clear decoder")
+	}
+}
+
+// Property: for any insert sequence, slots are strictly increasing and
+// never exceed capacity; lookup always returns the latest slot.
+func TestRowDecoderProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		d := NewRowDecoder(16)
+		last := make(map[uint64]int)
+		prev := -1
+		for _, k := range keys {
+			slot, ok := d.Insert(uint64(k))
+			if !ok {
+				break
+			}
+			if slot <= prev {
+				return false
+			}
+			prev = slot
+			last[uint64(k)] = slot
+		}
+		for k, want := range last {
+			if got, ok := d.Lookup(k); !ok || got != want {
+				return false
+			}
+		}
+		return d.Used() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package flash
+
+// RowDecoder is the programmable row decoder of Section IV-A: a
+// content-addressable memory attached to one physical log block that
+// maps (data block, page index) keys to log-page slots entirely in
+// hardware. A register tracks the next in-order free page, so write
+// remapping needs no firmware at all.
+//
+// Lookup models the two-phase CAM search (precharge wordlines, then
+// drive the key onto the A/A' bitlines and discharge the matching
+// row); Insert models programming the key's bits through the B/B'
+// bitlines while the data page programs in the array.
+type RowDecoder struct {
+	cam      map[uint64]int
+	stale    map[int]bool // slots superseded by re-insertion
+	nextFree int
+	capacity int
+}
+
+// NewRowDecoder creates a decoder for a log block of the given page
+// count.
+func NewRowDecoder(pagesPerBlock int) *RowDecoder {
+	return &RowDecoder{
+		cam:      make(map[uint64]int),
+		stale:    make(map[int]bool),
+		capacity: pagesPerBlock,
+	}
+}
+
+// Lookup returns the slot holding key's newest version.
+func (d *RowDecoder) Lookup(key uint64) (slot int, ok bool) {
+	slot, ok = d.cam[key]
+	return slot, ok
+}
+
+// Insert allocates the next in-order slot for key. Re-inserting a key
+// supersedes its previous slot (which becomes stale). ok is false when
+// the log block is full and must be garbage-collected.
+func (d *RowDecoder) Insert(key uint64) (slot int, ok bool) {
+	if d.nextFree >= d.capacity {
+		return 0, false
+	}
+	if old, exists := d.cam[key]; exists {
+		d.stale[old] = true
+	}
+	slot = d.nextFree
+	d.nextFree++
+	d.cam[key] = slot
+	return slot, true
+}
+
+// Full reports whether every slot is consumed.
+func (d *RowDecoder) Full() bool { return d.nextFree >= d.capacity }
+
+// Used reports consumed slots (including stale ones).
+func (d *RowDecoder) Used() int { return d.nextFree }
+
+// Live reports the number of current (non-superseded) mappings.
+func (d *RowDecoder) Live() int { return len(d.cam) }
+
+// Keys returns the live keys (for the GC merge step). Order is
+// unspecified.
+func (d *RowDecoder) Keys() []uint64 {
+	out := make([]uint64, 0, len(d.cam))
+	for k := range d.cam {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Reset clears the decoder after its log block is erased.
+func (d *RowDecoder) Reset() {
+	d.cam = make(map[uint64]int)
+	d.stale = make(map[int]bool)
+	d.nextFree = 0
+}

@@ -1,0 +1,59 @@
+// Package ftl implements the two flash translation layers the ZnG
+// evaluation compares:
+//
+//   - Split: the paper's zero-overhead FTL (Section III-B/IV-A). A
+//     read-only data-block mapping table (DBMT) lives in the GPU MMU;
+//     writes are remapped by the programmable row decoders of per-
+//     group log blocks (LPMT); the log-block mapping table (LBMT)
+//     groups several data blocks per log block; and a GPU helper
+//     thread performs garbage collection and wear-levelled block
+//     allocation.
+//
+//   - PageMapped: the monolithic page-mapped FTL that the HybridGPU
+//     SSD engine executes in firmware.
+//
+// Both keep real per-block state in internal/flash, so erase-before-
+// write, in-order programming and P/E endurance are enforced by the
+// substrate, not assumed.
+package ftl
+
+import (
+	"zng/internal/flash"
+)
+
+// planeAlloc hands out free blocks of one plane, lowest-erase-count
+// first (the wear-levelling policy of Section IV-A).
+type planeAlloc struct {
+	plane *flash.Plane
+	free  []int
+}
+
+func newPlaneAlloc(p *flash.Plane, firstFree, blocks int) *planeAlloc {
+	a := &planeAlloc{plane: p}
+	for b := firstFree; b < blocks; b++ {
+		a.free = append(a.free, b)
+	}
+	return a
+}
+
+// pop removes and returns the free block with the lowest erase count.
+func (a *planeAlloc) pop() (int, bool) {
+	if len(a.free) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i, b := range a.free {
+		if a.plane.Block(b).EraseCount < a.plane.Block(a.free[best]).EraseCount {
+			best = i
+		}
+	}
+	b := a.free[best]
+	a.free = append(a.free[:best], a.free[best+1:]...)
+	return b, true
+}
+
+// push returns a block to the free list.
+func (a *planeAlloc) push(b int) { a.free = append(a.free, b) }
+
+// freeCount reports available blocks.
+func (a *planeAlloc) freeCount() int { return len(a.free) }

@@ -1,0 +1,246 @@
+// Package gpu models the streaming multiprocessors of the simulated
+// GTX580-class GPU (Table I): 16 SMs at 1.2 GHz, up to 80 resident
+// warps each, one instruction issued per SM per cycle, a private L1D
+// per SM, and address translation through the shared MMU before the
+// caches (Section II-A).
+//
+// The model is warp-level and event-driven: arithmetic runs occupy the
+// SM issue pipeline for their run length (other warps fill the gaps,
+// which is how thread-level parallelism hides memory latency), and a
+// warp blocks until its memory instruction's coalesced sectors all
+// complete. IPC is instructions retired over elapsed cycles — the
+// metric Fig. 10 normalizes.
+package gpu
+
+import (
+	"zng/internal/cache"
+	"zng/internal/config"
+	"zng/internal/mem"
+	"zng/internal/mmu"
+	"zng/internal/sim"
+	"zng/internal/stats"
+	"zng/internal/workload"
+)
+
+// GPU is the multiprocessor array plus per-SM L1 caches.
+type GPU struct {
+	eng *sim.Engine
+	cfg config.GPU
+	mmu *mmu.Unit
+	l1s []*cache.Cache
+
+	sms  []*sm
+	apps []*appRun
+
+	Insts   stats.Counter
+	start   sim.Tick
+	end     sim.Tick
+	running int
+
+	// OnFinish, if set, fires when every launched app completes.
+	OnFinish func()
+}
+
+type sm struct {
+	id    int
+	issue *sim.Resource
+}
+
+type appRun struct {
+	g      *GPU
+	app    *workload.App
+	smIDs  []int
+	kernel int
+	live   int // running warps in the current kernel
+}
+
+// New builds a GPU whose SMs translate through mmuU and access l1cfg
+// caches backed by l2.
+func New(eng *sim.Engine, cfg config.GPU, l1cfg config.Cache, mmuU *mmu.Unit, l2 mem.Memory) *GPU {
+	g := &GPU{eng: eng, cfg: cfg, mmu: mmuU}
+	for i := 0; i < cfg.SMs; i++ {
+		g.sms = append(g.sms, &sm{id: i, issue: sim.NewResource(eng)})
+		g.l1s = append(g.l1s, cache.New(eng, l1cfg, l2, "L1D"))
+	}
+	return g
+}
+
+// L1 returns SM i's private L1D (tests, statistics).
+func (g *GPU) L1(i int) *cache.Cache { return g.l1s[i] }
+
+// Launch starts the given applications concurrently, partitioning the
+// SMs evenly among them (the multi-app co-run of Section V-A). It must
+// be called once, before the engine runs.
+func (g *GPU) Launch(apps ...*workload.App) {
+	if len(apps) == 0 || len(apps) > len(g.sms) {
+		panic("gpu: need between 1 and SMs applications")
+	}
+	g.start = g.eng.Now()
+	per := len(g.sms) / len(apps)
+	for i, a := range apps {
+		run := &appRun{g: g, app: a}
+		lo := i * per
+		hi := lo + per
+		if i == len(apps)-1 {
+			hi = len(g.sms)
+		}
+		for s := lo; s < hi; s++ {
+			run.smIDs = append(run.smIDs, s)
+		}
+		g.apps = append(g.apps, run)
+		g.running++
+	}
+	for _, run := range g.apps {
+		run.startKernel()
+	}
+}
+
+// Cycles reports elapsed cycles from launch to the last app's finish
+// (or now, while running).
+func (g *GPU) Cycles() sim.Tick {
+	if g.running == 0 && g.end > g.start {
+		return g.end - g.start
+	}
+	return g.eng.Now() - g.start
+}
+
+// IPC reports retired instructions per cycle across all SMs.
+func (g *GPU) IPC() float64 {
+	c := g.Cycles()
+	if c == 0 {
+		return 0
+	}
+	return float64(g.Insts.Value()) / float64(c)
+}
+
+// Done reports whether every launched app has finished.
+func (g *GPU) Done() bool { return g.running == 0 && len(g.apps) > 0 }
+
+func (r *appRun) startKernel() {
+	warps := r.app.Warps()
+	r.live = warps
+	for w := 0; w < warps; w++ {
+		smID := r.smIDs[w%len(r.smIDs)]
+		wc := &warpCtx{
+			run:    r,
+			sm:     r.g.sms[smID],
+			stream: r.app.Stream(r.kernel, w),
+			id:     r.app.Index<<20 | r.kernel<<10 | w,
+		}
+		// Stagger warp starts by a cycle to avoid a synchronized stampede.
+		r.g.eng.Schedule(sim.Tick(w%workload.SectorBytes), wc.step)
+	}
+}
+
+func (r *appRun) warpDone() {
+	r.live--
+	if r.live > 0 {
+		return
+	}
+	r.kernel++
+	if r.kernel < r.app.Kernels() {
+		// Kernel barrier: the next launch begins once all warps retire.
+		r.g.eng.Schedule(1, r.startKernel)
+		return
+	}
+	r.g.running--
+	if r.g.running == 0 {
+		r.g.end = r.g.eng.Now()
+		if r.g.OnFinish != nil {
+			r.g.OnFinish()
+		}
+	}
+}
+
+type warpCtx struct {
+	run    *appRun
+	sm     *sm
+	stream *workload.Stream
+	id     int
+
+	// pendingMem counts memory instructions in flight; a warp stalls
+	// only once it reaches cfg.MaxPerWarpMem outstanding (real SMs
+	// let a warp run ahead until a use-dependency).
+	pendingMem int
+	blocked    bool
+	draining   bool
+}
+
+// step fetches and executes the warp's next instruction.
+func (w *warpCtx) step() {
+	g := w.run.g
+	inst, ok := w.stream.Next()
+	if !ok {
+		if w.pendingMem > 0 {
+			w.draining = true
+			return
+		}
+		w.run.warpDone()
+		return
+	}
+	// The arithmetic run plus the memory instruction occupy the issue
+	// pipeline; each slot is one retired instruction.
+	cost := sim.Tick(inst.ALU)
+	insts := inst.ALU
+	if len(inst.Acc) > 0 {
+		cost++
+		insts++
+	}
+	if cost < 1 {
+		cost, insts = 1, 1
+	}
+	g.Insts.Add(uint64(insts))
+	acc := inst.Acc
+	pc := inst.PC
+	w.sm.issue.Acquire(cost, func() {
+		if len(acc) == 0 {
+			g.eng.Schedule(0, w.step)
+			return
+		}
+		w.pendingMem++
+		outstanding := len(acc)
+		for _, a := range acc {
+			a := a
+			g.mmu.Request(w.sm.id, a.Addr, func(pa uint64) {
+				r := &mem.Request{
+					Addr: pa, Size: workload.SectorBytes, Write: a.Write,
+					PC: pc, Warp: w.id, SM: w.sm.id,
+					Done: func() {
+						outstanding--
+						if outstanding == 0 {
+							w.memDone()
+						}
+					},
+				}
+				g.l1s[w.sm.id].Access(r)
+			})
+		}
+		max := g.cfg.MaxPerWarpMem
+		if max < 1 {
+			max = 1
+		}
+		if w.pendingMem < max {
+			// Run ahead to the next instruction.
+			g.eng.Schedule(1, w.step)
+		} else {
+			w.blocked = true
+		}
+	})
+}
+
+// memDone retires one memory instruction and resumes the warp if it
+// was stalled on the outstanding limit (or finishes it when draining).
+func (w *warpCtx) memDone() {
+	g := w.run.g
+	w.pendingMem--
+	if w.draining {
+		if w.pendingMem == 0 {
+			w.run.warpDone()
+		}
+		return
+	}
+	if w.blocked {
+		w.blocked = false
+		g.eng.Schedule(1, w.step)
+	}
+}

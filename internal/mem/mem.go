@@ -1,0 +1,64 @@
+// Package mem defines the memory request type that flows through the
+// simulated hierarchy (SM coalescer -> TLB/MMU -> L1 -> L2 -> platform
+// backend) and the interface every level implements.
+package mem
+
+// Request is one coalesced memory access. GPU requests are 128 B
+// sectors (Section III-A); prefetches and page-fault fills may be
+// larger.
+type Request struct {
+	// Addr is the request address. Before translation it is a virtual
+	// address; platforms that translate in the MMU rewrite it to a
+	// device-physical address before the caches see it.
+	Addr uint64
+	// Size in bytes.
+	Size int
+	// Write distinguishes stores from loads.
+	Write bool
+	// PC is the program counter of the generating LD/ST instruction;
+	// the ZnG prefetch predictor is indexed by it.
+	PC uint64
+	// Warp and SM identify the issuing context.
+	Warp int
+	SM   int
+	// Prefetch marks requests injected by the read-prefetch unit.
+	Prefetch bool
+	// Done is invoked exactly once when the request is complete.
+	Done func()
+}
+
+// Complete invokes Done if set. Levels must call it exactly once per
+// request they own.
+func (r *Request) Complete() {
+	if r.Done != nil {
+		r.Done()
+	}
+}
+
+// Memory is anything that can service requests: a cache level, an
+// interconnect adapter, a DRAM controller, the flash backbone.
+type Memory interface {
+	// Access starts servicing r. Completion is signalled via r.Done,
+	// possibly synchronously for zero-latency hits.
+	Access(r *Request)
+}
+
+// Func adapts a function to the Memory interface.
+type Func func(r *Request)
+
+// Access implements Memory.
+func (f Func) Access(r *Request) { f(r) }
+
+// PageBytes4K is the 4 KB page size shared by the MMU and Z-NAND.
+const PageBytes4K = 4096
+
+// LineAddr returns the address of the line of size lineBytes
+// containing addr. lineBytes must be a power of two.
+func LineAddr(addr uint64, lineBytes int) uint64 {
+	return addr &^ (uint64(lineBytes) - 1)
+}
+
+// PageAddr returns the 4 KB-aligned page address containing addr.
+func PageAddr(addr uint64, pageBytes int) uint64 {
+	return addr &^ (uint64(pageBytes) - 1)
+}

@@ -1,0 +1,187 @@
+// Package mmu models GPU address translation as described in Section
+// II-A of the ZnG paper: per-SM L1 TLBs backed by a shared MMU with a
+// highly-threaded page-table walker (32 threads), a page-walk cache,
+// and a page-fault handler hook.
+//
+// Two translation regimes matter to the evaluation:
+//
+//   - Baseline platforms walk an in-memory page table on TLB misses
+//     (hundreds of cycles per walk, limited walker concurrency).
+//   - ZnG stores the read-only data-block mapping table (DBMT) of its
+//     split FTL inside the MMU's SRAM (~80 KB, Section III-B), so a
+//     TLB miss costs only the DBMT lookup — the "zero-overhead FTL".
+//
+// The actual virtual-to-physical mapping function is injected by the
+// platform (identity for DRAM platforms, DBMT for ZnG); this package
+// charges the time.
+package mmu
+
+import (
+	"zng/internal/config"
+	"zng/internal/sim"
+	"zng/internal/stats"
+)
+
+// PageBytes is the translation granularity.
+const PageBytes = 4096
+
+// tlb is a fully-associative LRU translation buffer.
+type tlb struct {
+	cap     int
+	clock   uint64
+	entries map[uint64]uint64 // page -> LRU stamp
+}
+
+func newTLB(capacity int) *tlb {
+	return &tlb{cap: capacity, entries: make(map[uint64]uint64, capacity)}
+}
+
+func (t *tlb) lookup(page uint64) bool {
+	if _, ok := t.entries[page]; !ok {
+		return false
+	}
+	t.clock++
+	t.entries[page] = t.clock
+	return true
+}
+
+func (t *tlb) insert(page uint64) {
+	t.clock++
+	if len(t.entries) >= t.cap {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, s := range t.entries {
+			if s < oldest {
+				oldest = s
+				victim = p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.entries[page] = t.clock
+}
+
+// Unit is the shared MMU plus the per-SM L1 TLBs.
+type Unit struct {
+	eng *sim.Engine
+	cfg config.MMU
+
+	l1        []*tlb
+	walkCache *tlb
+	walkers   *sim.Pool
+
+	// WalkLat is the full page-table walk latency charged on a
+	// walk-cache miss. For ZnG platforms it is cfg.DBMTLatency (the
+	// in-MMU block-mapping lookup); for baselines it is
+	// WalkLevels*WalkMemLatency.
+	WalkLat sim.Tick
+	// WalkCacheLat is charged when the walk hits the page-walk cache.
+	WalkCacheLat sim.Tick
+
+	// Translate maps a virtual address to the platform's physical
+	// address space. It must be set before use.
+	Translate func(va uint64) uint64
+
+	// Fault, if non-nil, is consulted on every translation; returning
+	// true means the page is non-resident and resume will be invoked
+	// by the platform when the fault is serviced (Hetero's host path).
+	Fault func(va uint64, resume func()) bool
+
+	// Statistics.
+	L1Hits, L1Misses   stats.Counter
+	WalkCacheHits      stats.Counter
+	Walks              stats.Counter
+	Faults             stats.Counter
+	TranslationLatency stats.Histogram
+}
+
+// New creates an MMU for sms streaming multiprocessors. walkLat is the
+// charge for a full walk (see Unit.WalkLat).
+func New(eng *sim.Engine, cfg config.MMU, sms int, walkLat sim.Tick) *Unit {
+	u := &Unit{
+		eng:          eng,
+		cfg:          cfg,
+		walkCache:    newTLB(cfg.WalkCacheEnt),
+		walkers:      sim.NewPool(eng, cfg.WalkerThreads),
+		WalkLat:      walkLat,
+		WalkCacheLat: 8,
+	}
+	for i := 0; i < sms; i++ {
+		u.l1 = append(u.l1, newTLB(cfg.L1TLBEntries))
+	}
+	return u
+}
+
+// BaselineWalkLat returns the full-walk latency for page-table-in-
+// memory platforms.
+func BaselineWalkLat(cfg config.MMU) sim.Tick {
+	return sim.Tick(cfg.WalkLevels) * cfg.WalkMemLatency
+}
+
+// Request translates va for the given SM and calls done with the
+// physical address. Latency is charged per the TLB/walk/fault path.
+func (u *Unit) Request(sm int, va uint64, done func(pa uint64)) {
+	if u.Translate == nil {
+		panic("mmu: Translate not configured")
+	}
+	page := va / PageBytes
+
+	finish := func() {
+		pa := u.Translate(va)
+		done(pa)
+	}
+
+	withFault := func(after func()) {
+		if u.Fault == nil {
+			after()
+			return
+		}
+		if u.Fault(va, after) {
+			u.Faults.Inc()
+			return // platform resumes us
+		}
+		after()
+	}
+
+	if u.l1[sm].lookup(page) {
+		u.L1Hits.Inc()
+		// A TLB hit still requires residency (Hetero can evict pages).
+		withFault(func() { u.eng.Schedule(1, finish) })
+		return
+	}
+	u.L1Misses.Inc()
+
+	if u.walkCache.lookup(page) {
+		u.WalkCacheHits.Inc()
+		u.l1[sm].insert(page)
+		withFault(func() { u.eng.Schedule(u.WalkCacheLat, finish) })
+		return
+	}
+
+	// Full walk on one of the walker threads.
+	u.Walks.Inc()
+	u.walkers.Acquire(u.WalkLat, func() {
+		u.walkCache.insert(page)
+		u.l1[sm].insert(page)
+		withFault(finish)
+	})
+}
+
+// InvalidatePage drops a page from every TLB level (used when the
+// Hetero platform evicts a resident page, and by the ZnG helper thread
+// after garbage collection remaps blocks).
+func (u *Unit) InvalidatePage(page uint64) {
+	for _, t := range u.l1 {
+		delete(t.entries, page)
+	}
+	delete(u.walkCache.entries, page)
+}
+
+// L1HitRate reports the aggregate L1 TLB hit rate.
+func (u *Unit) L1HitRate() float64 {
+	t := u.L1Hits.Value() + u.L1Misses.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(u.L1Hits.Value()) / float64(t)
+}

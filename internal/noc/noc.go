@@ -1,0 +1,157 @@
+// Package noc models the two interconnects of the ZnG architecture
+// (Fig. 6a): the GPU-internal network connecting SMs, L2 banks, the
+// MMU and the flash controllers; and the flash network connecting
+// flash controllers to Z-NAND packages.
+//
+// HybridGPU attaches its flash packages over legacy shared-bus
+// channels; ZnG replaces them with a mesh whose links are 8 B wide —
+// 8x the legacy channel width — precisely because the bus "constrains
+// itself from scaling up with a higher frequency" (Section I).
+//
+// The mesh uses dimension-order (XY) routing with store-and-forward
+// links; each directional link is a bandwidth-limited sim.Port, so
+// contention and saturation emerge naturally.
+package noc
+
+import (
+	"fmt"
+
+	"zng/internal/sim"
+	"zng/internal/stats"
+)
+
+// Xbar is the GPU-internal crossbar: contention is modeled at each
+// destination's output port, which is how a high-radix switch behaves
+// once the fabric itself is overprovisioned.
+type Xbar struct {
+	eng  *sim.Engine
+	outs []*sim.Port
+
+	Bytes stats.Counter
+}
+
+// NewXbar creates a crossbar with n endpoints, each output moving
+// width bytes/tick with the given latency.
+func NewXbar(eng *sim.Engine, n int, width float64, latency sim.Tick) *Xbar {
+	x := &Xbar{eng: eng}
+	for i := 0; i < n; i++ {
+		x.outs = append(x.outs, sim.NewPort(eng, width, latency))
+	}
+	return x
+}
+
+// Ports reports the endpoint count.
+func (x *Xbar) Ports() int { return len(x.outs) }
+
+// Send moves n bytes to endpoint dst and schedules fn at delivery.
+func (x *Xbar) Send(dst, n int, fn func()) {
+	x.Bytes.Add(uint64(n))
+	x.outs[dst].Send(n, fn)
+}
+
+// OutBusy reports the cumulative busy time of endpoint dst's port.
+func (x *Xbar) OutBusy(dst int) sim.Tick { return x.outs[dst].BusyTicks() }
+
+// Mesh is a dim x dim store-and-forward mesh. Node i sits at
+// (i%dim, i/dim). Each directional link is a separate port.
+type Mesh struct {
+	eng *sim.Engine
+	dim int
+	// east[y][x]: link from (x,y) to (x+1,y); west, north, south similar.
+	east, west   [][]*sim.Port
+	north, south [][]*sim.Port // north: toward y-1, south: toward y+1
+	local        []*sim.Port   // ejection into the node
+
+	Bytes    stats.Counter
+	Messages stats.Counter
+}
+
+// NewMesh builds a dim x dim mesh with per-link width (bytes/tick) and
+// per-hop latency.
+func NewMesh(eng *sim.Engine, dim int, width float64, hopLat sim.Tick) *Mesh {
+	if dim < 1 {
+		panic("noc: mesh dimension must be >= 1")
+	}
+	m := &Mesh{eng: eng, dim: dim}
+	mk := func() *sim.Port { return sim.NewPort(eng, width, hopLat) }
+	for y := 0; y < dim; y++ {
+		var e, w, n, s []*sim.Port
+		for x := 0; x < dim; x++ {
+			e, w, n, s = append(e, mk()), append(w, mk()), append(n, mk()), append(s, mk())
+		}
+		m.east = append(m.east, e)
+		m.west = append(m.west, w)
+		m.north = append(m.north, n)
+		m.south = append(m.south, s)
+	}
+	for i := 0; i < dim*dim; i++ {
+		m.local = append(m.local, mk())
+	}
+	return m
+}
+
+// Nodes reports the node count (dim*dim).
+func (m *Mesh) Nodes() int { return m.dim * m.dim }
+
+// Hops reports the XY route length between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := src%m.dim, src/m.dim
+	dx, dy := dst%m.dim, dst/m.dim
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Send routes n bytes from src to dst (XY order) and schedules fn on
+// delivery. src == dst still pays the local ejection port.
+func (m *Mesh) Send(src, dst, n int, fn func()) {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: bad mesh endpoints %d -> %d", src, dst))
+	}
+	m.Bytes.Add(uint64(n))
+	m.Messages.Inc()
+	m.step(src%m.dim, src/m.dim, dst%m.dim, dst/m.dim, n, fn)
+}
+
+// step forwards the message one hop at a time: X first, then Y, then
+// the local ejection port.
+func (m *Mesh) step(x, y, dx, dy, n int, fn func()) {
+	switch {
+	case x < dx:
+		m.east[y][x].Send(n, func() { m.step(x+1, y, dx, dy, n, fn) })
+	case x > dx:
+		m.west[y][x].Send(n, func() { m.step(x-1, y, dx, dy, n, fn) })
+	case y < dy:
+		m.south[y][x].Send(n, func() { m.step(x, y+1, dx, dy, n, fn) })
+	case y > dy:
+		m.north[y][x].Send(n, func() { m.step(x, y-1, dx, dy, n, fn) })
+	default:
+		m.local[y*m.dim+x].Send(n, fn)
+	}
+}
+
+// Bus models the legacy shared flash channel of HybridGPU: every
+// package on the channel contends for one serialized medium.
+type Bus struct {
+	port  *sim.Port
+	Bytes stats.Counter
+}
+
+// NewBus creates a shared bus of the given width and latency.
+func NewBus(eng *sim.Engine, width float64, latency sim.Tick) *Bus {
+	return &Bus{port: sim.NewPort(eng, width, latency)}
+}
+
+// Send transfers n bytes over the shared medium.
+func (b *Bus) Send(n int, fn func()) {
+	b.Bytes.Add(uint64(n))
+	b.port.Send(n, fn)
+}
+
+// BusyTicks reports cumulative bus occupancy.
+func (b *Bus) BusyTicks() sim.Tick { return b.port.BusyTicks() }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package platform
+
+import (
+	"zng/internal/cache"
+	"zng/internal/config"
+	"zng/internal/dram"
+	"zng/internal/gpu"
+	"zng/internal/mem"
+	"zng/internal/mmu"
+	"zng/internal/sim"
+	"zng/internal/stats"
+)
+
+// buildHetero assembles the discrete GPU-SSD system of Section II-C:
+// GPU with GDDR5, data initially on an external NVMe SSD. A non-
+// resident page triggers a fault: interrupt to the CPU, SSD read,
+// redundant staging copy in host DRAM (the user/privilege-mode switch
+// cost), then a PCIe DMA into GPU memory.
+func buildHetero(eng *sim.Engine, cfg config.Config) *system {
+	u := mmu.New(eng, cfg.MMU, cfg.GPU.SMs, mmu.BaselineWalkLat(cfg.MMU))
+	u.Translate = func(va uint64) uint64 { return va }
+	dev := dram.New(eng, cfg.GDDR5)
+	l2 := cache.New(eng, cfg.L2SRAM, dev, "L2")
+	g := gpu.New(eng, cfg.GPU, cfg.L1, u, l2)
+
+	h := &hostPath{
+		eng:      eng,
+		cfg:      cfg.Host,
+		mmu:      u,
+		handlers: sim.NewPool(eng, 8),
+		ssd:      sim.NewPort(eng, config.GBpsToBytesPerTick(cfg.Host.SSDGBps), 0),
+		staging:  sim.NewPort(eng, config.GBpsToBytesPerTick(cfg.Host.StagingCopyBW), 0),
+		pcie:     sim.NewPort(eng, config.GBpsToBytesPerTick(cfg.Host.PCIeGBps), 0),
+		resident: make(map[uint64]uint64),
+		pending:  make(map[uint64][]func()),
+	}
+	u.Fault = h.fault
+
+	return &system{
+		eng: eng, cfg: cfg, mmu: u, l2: l2, gpu: g,
+		collectExtra: func(r *Result) {
+			r.Extra["faults"] = float64(h.Faults.Value())
+			r.Extra["fault_evictions"] = float64(h.Evictions.Value())
+			r.Extra["dram_gbps"] = dev.DeliveredGBps(g.Cycles())
+			r.Extra["pcie_bytes"] = float64(h.pcie.Bytes())
+		},
+	}
+}
+
+// hostPath services GPU page faults through the host.
+type hostPath struct {
+	eng *sim.Engine
+	cfg config.Host
+	mmu *mmu.Unit
+
+	handlers *sim.Pool
+	ssd      *sim.Port
+	staging  *sim.Port
+	pcie     *sim.Port
+
+	clock    uint64
+	resident map[uint64]uint64 // page -> LRU stamp
+	pending  map[uint64][]func()
+
+	Faults    stats.Counter
+	Evictions stats.Counter
+}
+
+// fault implements the mmu.Unit fault hook.
+func (h *hostPath) fault(va uint64, resume func()) bool {
+	page := va / mem.PageBytes4K
+	if _, ok := h.resident[page]; ok {
+		h.clock++
+		h.resident[page] = h.clock
+		return false
+	}
+	h.Faults.Inc()
+	if waiters, inFlight := h.pending[page]; inFlight {
+		h.pending[page] = append(waiters, resume)
+		return true
+	}
+	h.pending[page] = []func(){resume}
+
+	// Interrupt + driver + user/kernel switches on a host handler, then
+	// three data movements: SSD -> host DRAM, the redundant staging
+	// copy, and PCIe DMA to the GPU (Section II-C).
+	h.handlers.Acquire(h.cfg.FaultFixedLat, func() {
+		h.ssd.Send(mem.PageBytes4K, func() {
+			h.staging.Send(mem.PageBytes4K, func() {
+				h.pcie.Send(mem.PageBytes4K, func() { h.arrive(page) })
+			})
+		})
+	})
+	return true
+}
+
+func (h *hostPath) arrive(page uint64) {
+	h.clock++
+	h.resident[page] = h.clock
+	if len(h.resident) > h.cfg.GPUMemPages {
+		h.evictLRU()
+	}
+	waiters := h.pending[page]
+	delete(h.pending, page)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+func (h *hostPath) evictLRU() {
+	var victim uint64
+	oldest := ^uint64(0)
+	for p, s := range h.resident {
+		if s < oldest {
+			oldest = s
+			victim = p
+		}
+	}
+	delete(h.resident, victim)
+	h.mmu.InvalidatePage(victim)
+	h.Evictions.Inc()
+}

@@ -1,0 +1,58 @@
+package platform
+
+import (
+	"testing"
+
+	"zng/internal/workload"
+)
+
+// TestHeteroEvictionUnderMemoryPressure shrinks the resident GPU
+// memory below the working set: pages must be evicted, TLB entries
+// invalidated, and re-faulted on the next touch.
+func TestHeteroEvictionUnderMemoryPressure(t *testing.T) {
+	cfg := testCfg()
+	cfg.Host.GPUMemPages = 64 // far below any working set
+	pair, err := workload.PairByName("betw-back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Hetero, pair, 0.05, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Extra["fault_evictions"] == 0 {
+		t.Error("no evictions despite tiny GPU memory")
+	}
+	// Thrashing: faults must exceed the distinct-page count (re-faults).
+	if r.Extra["faults"] <= r.Extra["fault_evictions"] {
+		t.Errorf("faults (%v) should exceed evictions (%v)",
+			r.Extra["faults"], r.Extra["fault_evictions"])
+	}
+	if r.IPC <= 0 {
+		t.Error("thrashing run must still complete")
+	}
+}
+
+// TestHeteroThrashingIsSlower confirms memory pressure costs
+// performance (the capacity cliff the paper's Hetero platform lives
+// on).
+func TestHeteroThrashingIsSlower(t *testing.T) {
+	pair, err := workload.PairByName("betw-back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testCfg()
+	small := testCfg()
+	small.Host.GPUMemPages = 64
+	rBig, err := Run(Hetero, pair, 0.05, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := Run(Hetero, pair, 0.05, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.IPC >= rBig.IPC {
+		t.Errorf("thrashing IPC %.4f >= ample-memory IPC %.4f", rSmall.IPC, rBig.IPC)
+	}
+}

@@ -1,0 +1,177 @@
+package prefetch
+
+import (
+	"testing"
+
+	"zng/internal/cache"
+	"zng/internal/config"
+	"zng/internal/mem"
+)
+
+func unit() *Unit { return New(config.Default().Prefetch) }
+
+func miss(u *Unit, pc, addr uint64, warp int) int {
+	return u.OnMiss(&mem.Request{PC: pc, Addr: addr, Warp: warp, Size: 128})
+}
+
+func TestPredictorWarmsUpOnStreaming(t *testing.T) {
+	u := unit()
+	// One warp streaming sequential 128 B sectors within a page: the
+	// counter must pass the cutoff (12) and trigger a prefetch.
+	var ext int
+	for i := 0; i < 20; i++ {
+		ext = miss(u, 0x42, uint64(i)*128, 7)
+	}
+	if ext == 0 {
+		t.Fatal("streaming pattern never triggered a prefetch")
+	}
+	if u.Issued.Value() == 0 {
+		t.Error("issued counter not incremented")
+	}
+}
+
+func TestRandomPatternSuppressed(t *testing.T) {
+	u := unit()
+	// Random pages: counter decrements or stays low; no prefetch.
+	addrs := []uint64{0, 5 * PageBytes, 2 * PageBytes, 9 * PageBytes, PageBytes, 7 * PageBytes}
+	total := 0
+	for rep := 0; rep < 10; rep++ {
+		for _, a := range addrs {
+			total += miss(u, 0x99, a, 3)
+		}
+	}
+	if total != 0 {
+		t.Errorf("random pattern prefetched %d bytes, want 0", total)
+	}
+}
+
+func TestPrefetchStopsAtPageBoundary(t *testing.T) {
+	u := unit()
+	// Warm up at the end of a page.
+	base := uint64(10 * PageBytes)
+	for i := 0; i < 16; i++ {
+		miss(u, 0x7, base+uint64(i%4)*128, 1)
+	}
+	// Miss at the last sector of the page: nothing left to prefetch.
+	ext := miss(u, 0x7, base+PageBytes-128, 1)
+	if ext != 0 {
+		t.Errorf("prefetch beyond page boundary: %d bytes", ext)
+	}
+	// Miss mid-page: extent must stay inside the page.
+	ext = miss(u, 0x7, base+PageBytes-512, 1)
+	if ext > 384 {
+		t.Errorf("extent %d crosses the page boundary", ext)
+	}
+}
+
+func TestDistinctPCsTrackedSeparately(t *testing.T) {
+	u := unit()
+	for i := 0; i < 20; i++ {
+		miss(u, 0x10, uint64(i)*128, 0) // streaming PC
+	}
+	if got := miss(u, 0x10, 20*128, 0); got == 0 {
+		t.Fatal("streaming PC should prefetch")
+	}
+	// A different PC with random behaviour must not inherit the counter.
+	if got := miss(u, 0x11, 50*PageBytes, 0); got != 0 {
+		t.Error("fresh PC prefetched immediately")
+	}
+}
+
+func TestMultipleWarpSlots(t *testing.T) {
+	u := unit()
+	// Five warps interleaved, all streaming their own pages: each has a
+	// slot, so same-page detection still works and warms the counter.
+	for i := 0; i < 30; i++ {
+		for w := 0; w < 5; w++ {
+			miss(u, 0x20, uint64(w)*16*PageBytes+uint64(i%8)*128, w)
+		}
+	}
+	if got := miss(u, 0x20, 0*16*PageBytes+8*128, 0); got == 0 {
+		t.Error("interleaved warps defeated the per-warp slots")
+	}
+}
+
+func TestAccessMonitorShrinksOnWaste(t *testing.T) {
+	cfg := config.Default().Prefetch
+	cfg.MonitorWindow = 8
+	u := New(cfg)
+	g0 := u.Granularity()
+	// All prefetched lines evicted unused: waste 1.0 > 0.3 -> halve.
+	for i := 0; i < 8; i++ {
+		u.OnEvict(cache.EvictInfo{Prefetch: true, Accessed: false})
+	}
+	if u.Granularity() != g0/2 {
+		t.Errorf("granularity = %d, want halved %d", u.Granularity(), g0/2)
+	}
+	if u.Shrinks.Value() != 1 {
+		t.Errorf("shrinks = %d", u.Shrinks.Value())
+	}
+}
+
+func TestAccessMonitorGrowsOnUsefulPrefetch(t *testing.T) {
+	cfg := config.Default().Prefetch
+	cfg.MonitorWindow = 8
+	u := New(cfg)
+	g0 := u.Granularity()
+	for i := 0; i < 8; i++ {
+		u.OnEvict(cache.EvictInfo{Prefetch: true, Accessed: true})
+	}
+	if u.Granularity() != g0+cfg.GrowBytes {
+		t.Errorf("granularity = %d, want %d", u.Granularity(), g0+cfg.GrowBytes)
+	}
+	if u.Grows.Value() != 1 {
+		t.Errorf("grows = %d", u.Grows.Value())
+	}
+}
+
+func TestGranularityBounds(t *testing.T) {
+	cfg := config.Default().Prefetch
+	cfg.MonitorWindow = 4
+	u := New(cfg)
+	// Shrink far beyond the floor.
+	for w := 0; w < 20; w++ {
+		for i := 0; i < 4; i++ {
+			u.OnEvict(cache.EvictInfo{Prefetch: true, Accessed: false})
+		}
+	}
+	if u.Granularity() < cfg.MinBytes {
+		t.Errorf("granularity %d below floor %d", u.Granularity(), cfg.MinBytes)
+	}
+	// Grow far beyond the ceiling.
+	for w := 0; w < 20; w++ {
+		for i := 0; i < 4; i++ {
+			u.OnEvict(cache.EvictInfo{Prefetch: true, Accessed: true})
+		}
+	}
+	if u.Granularity() > cfg.MaxBytes {
+		t.Errorf("granularity %d above ceiling %d", u.Granularity(), cfg.MaxBytes)
+	}
+}
+
+func TestNonPrefetchEvictionsIgnored(t *testing.T) {
+	cfg := config.Default().Prefetch
+	cfg.MonitorWindow = 2
+	u := New(cfg)
+	g0 := u.Granularity()
+	for i := 0; i < 50; i++ {
+		u.OnEvict(cache.EvictInfo{Prefetch: false, Accessed: false})
+	}
+	if u.Granularity() != g0 {
+		t.Error("demand evictions must not move the granularity")
+	}
+}
+
+func TestMixedWasteMidBandHolds(t *testing.T) {
+	cfg := config.Default().Prefetch
+	cfg.MonitorWindow = 10
+	u := New(cfg)
+	g0 := u.Granularity()
+	// 20% waste: between 0.05 and 0.3 -> hold.
+	for i := 0; i < 10; i++ {
+		u.OnEvict(cache.EvictInfo{Prefetch: true, Accessed: i >= 2})
+	}
+	if u.Granularity() != g0 {
+		t.Errorf("mid-band waste moved granularity to %d", u.Granularity())
+	}
+}

@@ -1,0 +1,114 @@
+// Package sim provides the discrete-event simulation kernel used by
+// every other component of the ZnG model: an event queue ordered by
+// tick, bandwidth-limited ports, and occupancy-limited resources.
+//
+// One sim.Tick is one GPU core cycle (1.2 GHz in the paper's Table I
+// configuration, i.e. 0.8333 ns); device latencies expressed in
+// nanoseconds are converted to ticks by internal/config.
+//
+// The engine is deliberately single-threaded: a simulation is a
+// deterministic function of its inputs. Events scheduled for the same
+// tick fire in the order they were scheduled, so runs are exactly
+// reproducible.
+package sim
+
+import "container/heap"
+
+// Tick is simulated time measured in GPU core cycles.
+type Tick int64
+
+type event struct {
+	when Tick
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty engine at tick zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn delay ticks from now. A negative delay is treated
+// as zero (fires later in the current tick, preserving order).
+func (e *Engine) Schedule(delay Tick, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute tick t. A nil fn is ignored (callers
+// chain optional completion callbacks). Scheduling in the past is an
+// error in the caller; it is clamped to the current tick to keep the
+// simulation monotonic.
+func (e *Engine) ScheduleAt(t Tick, fn func()) {
+	if fn == nil {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+}
+
+// Step fires the next event, advancing time to it. It reports whether
+// an event was available.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Tick) {
+	for len(e.events) > 0 && e.events[0].when <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d ticks (see RunUntil).
+func (e *Engine) RunFor(d Tick) { e.RunUntil(e.now + d) }

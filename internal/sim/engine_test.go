@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) }) // same tick: FIFO
+	e.Schedule(20, func() { got = append(got, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", e.Now())
+	}
+	if e.Fired() != 4 {
+		t.Errorf("Fired() = %d, want 4", e.Fired())
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var ticks []Tick
+	e.Schedule(1, func() {
+		ticks = append(ticks, e.Now())
+		e.Schedule(9, func() { ticks = append(ticks, e.Now()) })
+	})
+	e.Run()
+	if len(ticks) != 2 || ticks[0] != 1 || ticks[1] != 10 {
+		t.Fatalf("ticks = %v, want [1 10]", ticks)
+	}
+}
+
+func TestEngineZeroAndNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		now := e.Now()
+		e.Schedule(0, func() {
+			if e.Now() != now {
+				t.Errorf("zero-delay event fired at %d, want %d", e.Now(), now)
+			}
+		})
+		e.Schedule(-3, func() {
+			if e.Now() != now {
+				t.Errorf("negative-delay event fired at %d, want %d", e.Now(), now)
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for _, d := range []Tick{1, 5, 10, 15} {
+		e.Schedule(d, func() { fired++ })
+	}
+	e.RunUntil(10)
+	if fired != 3 {
+		t.Errorf("fired = %d after RunUntil(10), want 3", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now() = %d, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.RunFor(5)
+	if fired != 4 {
+		t.Errorf("fired = %d after RunFor(5), want 4", fired)
+	}
+}
+
+func TestEngineScheduleAtPastClamps(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.ScheduleAt(3, func() {
+			if e.Now() != 10 {
+				t.Errorf("past event fired at %d, want clamp to 10", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+// Property: events always fire in nondecreasing time order, regardless
+// of schedule order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Tick(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Tick(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: same-tick events fire FIFO even under random interleaving.
+func TestEngineSameTickFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := NewEngine()
+	const n = 500
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Schedule(Tick(rng.Intn(3)), func() { got = append(got, i) })
+	}
+	e.Run()
+	// Within each tick bucket, indexes must be increasing.
+	seen := map[Tick][]int{}
+	// Re-run to capture tick for each event deterministically: easier to
+	// verify global order respects per-tick FIFO by checking that any
+	// decrease in index implies a tick boundary. Since delays are 0..2 and
+	// schedule order is index order, indexes within a tick are increasing.
+	_ = seen
+	dec := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			dec++
+		}
+	}
+	if dec > 2 { // at most one decrease per tick boundary (3 ticks)
+		t.Errorf("found %d order inversions, want <= 2", dec)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Tick(i%64), nop)
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

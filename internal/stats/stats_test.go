@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c, d Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("Value = %d, want 10", c.Value())
+	}
+	d.Add(5)
+	if r := c.Ratio(&d); r != 2 {
+		t.Errorf("Ratio = %v, want 2", r)
+	}
+	var zero Counter
+	if r := c.Ratio(&zero); r != 0 {
+		t.Errorf("Ratio by zero = %v, want 0", r)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("l1", 10)
+	b.Add("l2", 20)
+	b.Add("flash", 70)
+	b.Add("l1", 0) // no-op add keeps order
+	if got := b.Total(); got != 100 {
+		t.Errorf("Total = %v, want 100", got)
+	}
+	comps := b.Components()
+	if len(comps) != 3 || comps[0] != "l1" || comps[2] != "flash" {
+		t.Errorf("Components = %v", comps)
+	}
+	fr := b.Fractions()
+	if math.Abs(fr[2]-0.7) > 1e-12 {
+		t.Errorf("flash fraction = %v, want 0.7", fr[2])
+	}
+	if b.Get("l2") != 20 {
+		t.Errorf("Get(l2) = %v", b.Get("l2"))
+	}
+	if NewBreakdown().Fractions() != nil {
+		t.Error("empty breakdown should yield nil fractions")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []float64{1, 5, 10, 50, 99, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	// buckets: <10: {1,5}=2; <100: {10,50,99}=3; <1000: {100,500}=2; ovf: {5000}=1
+	want := []uint64{2, 3, 2, 1}
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Errorf("Bucket(%d) = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.Max() != 5000 {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-720.625) > 1e-9 {
+		t.Errorf("Mean = %v, want 720.625", m)
+	}
+	if q := h.Quantile(0.5); q != 100 {
+		t.Errorf("Quantile(0.5) = %v, want 100", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+// Property: histogram count equals observations; mean within [0, max].
+func TestHistogramProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		h := NewHistogram(16, 256, 4096)
+		for _, v := range vals {
+			h.Observe(float64(v))
+		}
+		if h.Count() != uint64(len(vals)) {
+			return false
+		}
+		if len(vals) > 0 && (h.Mean() < 0 || h.Mean() > h.Max()) {
+			return false
+		}
+		var total uint64
+		for i := 0; i < 4; i++ {
+			total += h.Bucket(i)
+		}
+		return total == uint64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "ipc", "speedup")
+	tb.AddRow("betw-back", 0.125, 7.5)
+	tb.AddRow("bfs1-gaus", 1, "n/a")
+	s := tb.String()
+	if !strings.Contains(s, "== Fig X ==") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "betw-back") || !strings.Contains(s, "0.125") {
+		t.Errorf("missing cells:\n%s", s)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+	if tb.Cell(1, 1) != "1" {
+		t.Errorf("Cell(1,1) = %q, want trimmed %q", tb.Cell(1, 1), "1")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:   "1.5",
+		2:     "2",
+		0.125: "0.125",
+		0:     "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package workload
+
+// Stats summarizes a trace the way Fig. 5 reports workloads: access
+// mix, page-level read re-use, and page-level write redundancy.
+type Stats struct {
+	MemInsts     int
+	ReadSectors  int
+	WriteSectors int
+	// Distinct 4 KB pages read/written.
+	ReadPages  int
+	WritePages int
+}
+
+// ReadRatio reports the fraction of sector accesses that are reads
+// (Fig. 5d / Table II).
+func (s Stats) ReadRatio() float64 {
+	t := s.ReadSectors + s.WriteSectors
+	if t == 0 {
+		return 0
+	}
+	return float64(s.ReadSectors) / float64(t)
+}
+
+// ReadReuse reports average reads per distinct read page (Fig. 5b).
+func (s Stats) ReadReuse() float64 {
+	if s.ReadPages == 0 {
+		return 0
+	}
+	return float64(s.ReadSectors) / float64(s.ReadPages)
+}
+
+// WriteRedundancy reports average writes per distinct written page
+// (Fig. 5c).
+func (s Stats) WriteRedundancy() float64 {
+	if s.WritePages == 0 {
+		return 0
+	}
+	return float64(s.WriteSectors) / float64(s.WritePages)
+}
+
+// Characterize streams an entire application trace and accumulates its
+// statistics. It is used by the Fig. 5 experiment driver and the
+// calibration tests.
+func Characterize(a *App) Stats {
+	var st Stats
+	readPages := make(map[uint64]struct{})
+	writePages := make(map[uint64]struct{})
+	for k := 0; k < a.Kernels(); k++ {
+		for w := 0; w < a.Warps(); w++ {
+			s := a.Stream(k, w)
+			for {
+				inst, ok := s.Next()
+				if !ok {
+					break
+				}
+				st.MemInsts++
+				for _, acc := range inst.Acc {
+					page := acc.Addr / PageBytes
+					if acc.Write {
+						st.WriteSectors++
+						writePages[page] = struct{}{}
+					} else {
+						st.ReadSectors++
+						readPages[page] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	st.ReadPages = len(readPages)
+	st.WritePages = len(writePages)
+	return st
+}
+
+// CharacterizePair merges the statistics of a co-run pair, the unit
+// Fig. 5a-c plots.
+func CharacterizePair(a, b *App) Stats {
+	sa, sb := Characterize(a), Characterize(b)
+	return Stats{
+		MemInsts:     sa.MemInsts + sb.MemInsts,
+		ReadSectors:  sa.ReadSectors + sb.ReadSectors,
+		WriteSectors: sa.WriteSectors + sb.WriteSectors,
+		ReadPages:    sa.ReadPages + sb.ReadPages,
+		WritePages:   sa.WritePages + sb.WritePages,
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import "fmt"
+
+// Specs transcribes Table II (read ratio, kernel count) and attaches
+// the locality calibration derived from Fig. 5: per-application read
+// re-use targets spreading around the reported ~42 average and write
+// redundancy targets spreading around the reported ~65 average.
+//
+// Graph-analysis applications [23] are read-intensive; the scientific
+// kernels back/gaus [24] and FDT/gram [25] carry the write traffic of
+// the co-run pairs.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "betw", Suite: "graph", ReadRatio: 0.98, Kernels: 11, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 55, WriteRedund: 110, SeqFrac: 0.25, RandSectors: 4, ALUMean: 8, Seed: 101},
+		{Name: "bfs1", Suite: "graph", ReadRatio: 0.95, Kernels: 7, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 35, WriteRedund: 80, SeqFrac: 0.30, RandSectors: 4, ALUMean: 6, Seed: 102},
+		{Name: "bfs2", Suite: "graph", ReadRatio: 0.99, Kernels: 9, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 60, WriteRedund: 100, SeqFrac: 0.28, RandSectors: 4, ALUMean: 6, Seed: 103},
+		{Name: "bfs3", Suite: "graph", ReadRatio: 0.88, Kernels: 10, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 25, WriteRedund: 70, SeqFrac: 0.30, RandSectors: 4, ALUMean: 6, Seed: 104},
+		{Name: "bfs4", Suite: "graph", ReadRatio: 0.97, Kernels: 12, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 40, WriteRedund: 90, SeqFrac: 0.30, RandSectors: 4, ALUMean: 6, Seed: 105},
+		{Name: "bfs5", Suite: "graph", ReadRatio: 0.99, Kernels: 6, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 70, WriteRedund: 120, SeqFrac: 0.28, RandSectors: 4, ALUMean: 6, Seed: 106},
+		{Name: "bfs6", Suite: "graph", ReadRatio: 0.97, Kernels: 7, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 45, WriteRedund: 95, SeqFrac: 0.30, RandSectors: 4, ALUMean: 6, Seed: 107},
+		{Name: "gc1", Suite: "graph", ReadRatio: 0.98, Kernels: 8, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 30, WriteRedund: 85, SeqFrac: 0.22, RandSectors: 4, ALUMean: 8, Seed: 108},
+		{Name: "gc2", Suite: "graph", ReadRatio: 0.99, Kernels: 10, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 50, WriteRedund: 105, SeqFrac: 0.22, RandSectors: 4, ALUMean: 8, Seed: 109},
+		{Name: "sssp3", Suite: "graph", ReadRatio: 0.98, Kernels: 8, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 38, WriteRedund: 88, SeqFrac: 0.25, RandSectors: 4, ALUMean: 7, Seed: 110},
+		{Name: "deg", Suite: "graph", ReadRatio: 1.00, Kernels: 1, WarpsPerKernel: 128, MemInstBudget: 50000, ReadReuse: 15, WriteRedund: 1, SeqFrac: 0.55, RandSectors: 3, ALUMean: 5, Seed: 111},
+		{Name: "pr", Suite: "graph", ReadRatio: 0.99, Kernels: 53, WarpsPerKernel: 64, MemInstBudget: 70000, ReadReuse: 75, WriteRedund: 130, SeqFrac: 0.35, RandSectors: 4, ALUMean: 7, Seed: 112},
+		{Name: "back", Suite: "sci", ReadRatio: 0.57, Kernels: 1, WarpsPerKernel: 128, MemInstBudget: 40000, ReadReuse: 30, WriteRedund: 55, SeqFrac: 0.60, RandSectors: 2, ALUMean: 12, Seed: 113},
+		{Name: "gaus", Suite: "sci", ReadRatio: 0.66, Kernels: 3, WarpsPerKernel: 128, MemInstBudget: 40000, ReadReuse: 35, WriteRedund: 45, SeqFrac: 0.65, RandSectors: 2, ALUMean: 14, Seed: 114},
+		{Name: "FDT", Suite: "sci", ReadRatio: 0.73, Kernels: 1, WarpsPerKernel: 128, MemInstBudget: 40000, ReadReuse: 28, WriteRedund: 40, SeqFrac: 0.60, RandSectors: 2, ALUMean: 12, Seed: 115},
+		{Name: "gram", Suite: "sci", ReadRatio: 0.75, Kernels: 3, WarpsPerKernel: 128, MemInstBudget: 40000, ReadReuse: 32, WriteRedund: 35, SeqFrac: 0.60, RandSectors: 2, ALUMean: 12, Seed: 116},
+	}
+}
+
+// SpecByName returns the Table II spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// Pair is one multi-application workload: a read-intensive graph
+// application co-run with a write-intensive scientific kernel
+// (Section V-A).
+type Pair struct {
+	Name string
+	A, B string // Table II application names
+}
+
+// Pairs returns the twelve co-run workloads of Figures 5, 10 and 11,
+// in the paper's x-axis order.
+func Pairs() []Pair {
+	return []Pair{
+		{"betw-back", "betw", "back"},
+		{"bfs1-gaus", "bfs1", "gaus"},
+		{"gc1-FDT", "gc1", "FDT"},
+		{"gc2-FDT", "gc2", "FDT"},
+		{"sssp3-gram", "sssp3", "gram"},
+		{"bfs2-gaus", "bfs2", "gaus"},
+		{"bfs3-FDT", "bfs3", "FDT"},
+		{"bfs4-back", "bfs4", "back"},
+		{"bfs5-back", "bfs5", "back"},
+		{"bfs6-gaus", "bfs6", "gaus"},
+		{"deg-gram", "deg", "gram"},
+		{"pr-gaus", "pr", "gaus"},
+	}
+}
+
+// PairByName returns the co-run pair with the given name.
+func PairByName(name string) (Pair, error) {
+	for _, p := range Pairs() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pair{}, fmt.Errorf("workload: unknown pair %q", name)
+}
+
+// Apps instantiates both applications of a pair at the given scale.
+// The first app gets address-space index 0, the second index 1.
+func (p Pair) Apps(scale float64) (*App, *App, error) {
+	sa, err := SpecByName(p.A)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := SpecByName(p.B)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewApp(sa, scale, 0), NewApp(sb, scale, 1), nil
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIITranscription(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 16 {
+		t.Fatalf("len(Specs) = %d, want 16", len(specs))
+	}
+	want := map[string]struct {
+		ratio   float64
+		kernels int
+	}{
+		"betw": {0.98, 11}, "bfs1": {0.95, 7}, "bfs2": {0.99, 9},
+		"bfs3": {0.88, 10}, "bfs4": {0.97, 12}, "bfs5": {0.99, 6},
+		"bfs6": {0.97, 7}, "gc1": {0.98, 8}, "gc2": {0.99, 10},
+		"sssp3": {0.98, 8}, "deg": {1.00, 1}, "pr": {0.99, 53},
+		"back": {0.57, 1}, "gaus": {0.66, 3}, "FDT": {0.73, 1},
+		"gram": {0.75, 3},
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected app %q", s.Name)
+			continue
+		}
+		if s.ReadRatio != w.ratio || s.Kernels != w.kernels {
+			t.Errorf("%s: ratio/kernels = %v/%d, want %v/%d", s.Name, s.ReadRatio, s.Kernels, w.ratio, w.kernels)
+		}
+		seen[s.Name] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("missing apps: saw %d", len(seen))
+	}
+}
+
+func TestPairsMatchPaper(t *testing.T) {
+	pairs := Pairs()
+	if len(pairs) != 12 {
+		t.Fatalf("len(Pairs) = %d, want 12", len(pairs))
+	}
+	if pairs[0].Name != "betw-back" || pairs[11].Name != "pr-gaus" {
+		t.Errorf("pair order: first %q last %q", pairs[0].Name, pairs[11].Name)
+	}
+	for _, p := range pairs {
+		a, err := SpecByName(p.A)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		b, err := SpecByName(p.B)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if a.Suite != "graph" || b.Suite != "sci" {
+			t.Errorf("%s: want graph+sci co-run, got %s+%s", p.Name, a.Suite, b.Suite)
+		}
+	}
+}
+
+func TestSpecByNameUnknown(t *testing.T) {
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("want error for unknown app")
+	}
+	if _, err := PairByName("nope"); err == nil {
+		t.Error("want error for unknown pair")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	spec, _ := SpecByName("betw")
+	a := NewApp(spec, 0.05, 0)
+	s1, s2 := a.Stream(0, 3), a.Stream(0, 3)
+	for {
+		i1, ok1 := s1.Next()
+		i2, ok2 := s2.Next()
+		if ok1 != ok2 {
+			t.Fatal("streams diverge in length")
+		}
+		if !ok1 {
+			break
+		}
+		if i1.PC != i2.PC || i1.ALU != i2.ALU || len(i1.Acc) != len(i2.Acc) {
+			t.Fatal("streams diverge in content")
+		}
+		for k := range i1.Acc {
+			if i1.Acc[k] != i2.Acc[k] {
+				t.Fatal("streams diverge in addresses")
+			}
+		}
+	}
+}
+
+func TestStreamsDifferAcrossWarps(t *testing.T) {
+	spec, _ := SpecByName("bfs1")
+	a := NewApp(spec, 0.05, 0)
+	i1, _ := a.Stream(0, 0).Next()
+	i2, _ := a.Stream(0, 1).Next()
+	// Different warps must not generate byte-identical first accesses
+	// (their scan strips are disjoint).
+	if len(i1.Acc) > 0 && len(i2.Acc) > 0 && i1.Acc[0].Addr == i2.Acc[0].Addr {
+		t.Error("warp 0 and warp 1 start at the same address")
+	}
+}
+
+func TestReadRatioCalibration(t *testing.T) {
+	for _, spec := range Specs() {
+		a := NewApp(spec, 0.25, 0)
+		st := Characterize(a)
+		got := st.ReadRatio()
+		if math.Abs(got-spec.ReadRatio) > 0.03 {
+			t.Errorf("%s: read ratio = %.3f, want %.2f +/- 0.03", spec.Name, got, spec.ReadRatio)
+		}
+	}
+}
+
+func TestReuseCalibrationAverages(t *testing.T) {
+	// Fig. 5b: read re-access averages ~42 across the co-run pairs.
+	// Fig. 5c: write redundancy averages ~65.
+	var reuseSum, redundSum float64
+	n := 0
+	for _, p := range Pairs() {
+		a, b, err := p.Apps(0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := CharacterizePair(a, b)
+		reuse, redund := st.ReadReuse(), st.WriteRedundancy()
+		if reuse < 5 || reuse > 120 {
+			t.Errorf("%s: read reuse = %.1f, out of plausible Fig. 5b band", p.Name, reuse)
+		}
+		if redund < 10 || redund > 220 {
+			t.Errorf("%s: write redundancy = %.1f, out of plausible Fig. 5c band", p.Name, redund)
+		}
+		reuseSum += reuse
+		redundSum += redund
+		n++
+	}
+	avgReuse, avgRedund := reuseSum/float64(n), redundSum/float64(n)
+	if avgReuse < 25 || avgReuse > 60 {
+		t.Errorf("average read reuse = %.1f, want ~42 (Fig. 5b)", avgReuse)
+	}
+	if avgRedund < 40 || avgRedund > 95 {
+		t.Errorf("average write redundancy = %.1f, want ~65 (Fig. 5c)", avgRedund)
+	}
+}
+
+func TestScaleChangesBudget(t *testing.T) {
+	spec, _ := SpecByName("pr")
+	small := NewApp(spec, 0.05, 0)
+	big := NewApp(spec, 1.0, 0)
+	if small.TotalMemInsts() >= big.TotalMemInsts() {
+		t.Errorf("scale must shrink trace: %d vs %d", small.TotalMemInsts(), big.TotalMemInsts())
+	}
+	if small.MemInstsPerWarp() < 4 {
+		t.Error("per-warp floor violated")
+	}
+}
+
+func TestAddressSpacesDisjoint(t *testing.T) {
+	sa, _ := SpecByName("betw")
+	sb, _ := SpecByName("back")
+	a, b := NewApp(sa, 0.05, 0), NewApp(sb, 0.05, 1)
+	if a.VABase() == b.VABase() {
+		t.Fatal("apps share address space")
+	}
+	sA := a.Stream(0, 0)
+	for {
+		inst, ok := sA.Next()
+		if !ok {
+			break
+		}
+		for _, acc := range inst.Acc {
+			if acc.Addr>>40 != a.VABase()>>40 {
+				t.Fatalf("app A emitted address %x outside its space", acc.Addr)
+			}
+		}
+	}
+}
+
+func TestPCStability(t *testing.T) {
+	// The predictor requires the scan PC to repeat: all scan accesses in
+	// one kernel share one PC, distinct from gather and write PCs.
+	spec, _ := SpecByName("pr")
+	a := NewApp(spec, 0.1, 0)
+	pcs := map[uint64]int{}
+	s := a.Stream(0, 0)
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		pcs[inst.PC]++
+	}
+	if len(pcs) > 3 {
+		t.Errorf("warp stream used %d distinct PCs, want <= 3 (scan/gather/write)", len(pcs))
+	}
+}
+
+func TestSequentialScanAdvances(t *testing.T) {
+	spec, _ := SpecByName("deg") // highest SeqFrac
+	a := NewApp(spec, 0.1, 0)
+	s := a.Stream(0, 0)
+	var scans []uint64
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if inst.PC&0xff == 0x10 {
+			scans = append(scans, inst.Acc[0].Addr)
+		}
+	}
+	if len(scans) < 2 {
+		t.Skip("too few scans at this scale")
+	}
+	for i := 1; i < len(scans); i++ {
+		if scans[i] != scans[i-1]+SectorBytes {
+			t.Fatalf("scan %d: addr %x, want %x (sequential)", i, scans[i], scans[i-1]+SectorBytes)
+		}
+	}
+}
+
+func TestDegIsReadOnly(t *testing.T) {
+	spec, _ := SpecByName("deg")
+	st := Characterize(NewApp(spec, 0.2, 0))
+	if st.WriteSectors != 0 {
+		t.Errorf("deg emitted %d writes, want 0 (read ratio 1.00)", st.WriteSectors)
+	}
+}
+
+func TestFootprintPagesPositive(t *testing.T) {
+	for _, spec := range Specs() {
+		a := NewApp(spec, 0.1, 0)
+		if a.FootprintPages() <= 0 {
+			t.Errorf("%s: footprint %d", spec.Name, a.FootprintPages())
+		}
+	}
+}
+
+func TestStreamPanicsOutOfRange(t *testing.T) {
+	spec, _ := SpecByName("betw")
+	a := NewApp(spec, 0.05, 0)
+	for _, f := range []func(){
+		func() { a.Stream(-1, 0) },
+		func() { a.Stream(0, 10_000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic for out-of-range stream")
+				}
+			}()
+			f()
+		}()
+	}
+}
