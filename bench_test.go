@@ -9,11 +9,13 @@
 package zng_test
 
 import (
+	"strconv"
 	"testing"
 
 	"zng/internal/config"
 	"zng/internal/experiments"
 	"zng/internal/platform"
+	"zng/internal/stats"
 	"zng/internal/workload"
 )
 
@@ -36,10 +38,33 @@ func BenchmarkFig1b(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
 		t := experiments.Fig1b(config.Default())
-		_ = t
-		gap = 1
+		// The figure's headline: GDDR5's aggregate bandwidth (the "gap
+		// line") over the SSD engine, HybridGPU's binding bottleneck.
+		gddr5 := tableValue(b, t, "GDDR5 (gap line)")
+		engine := tableValue(b, t, "SSD engine")
+		if engine <= 0 {
+			b.Fatal("SSD engine bandwidth not positive")
+		}
+		gap = gddr5 / engine
 	}
-	b.ReportMetric(gap, "ok")
+	b.ReportMetric(gap, "dram_ssd_gap_x")
+}
+
+// tableValue extracts the numeric column of the named row.
+func tableValue(b *testing.B, t *stats.Table, row string) float64 {
+	b.Helper()
+	for r := 0; r < t.Rows(); r++ {
+		if t.Cell(r, 0) != row {
+			continue
+		}
+		v, err := strconv.ParseFloat(t.Cell(r, 1), 64)
+		if err != nil {
+			b.Fatalf("row %q: bad cell %q: %v", row, t.Cell(r, 1), err)
+		}
+		return v
+	}
+	b.Fatalf("row %q not in table", row)
+	return 0
 }
 
 func BenchmarkFig3(b *testing.B) {
@@ -68,6 +93,7 @@ func BenchmarkFig5a(b *testing.B) {
 	o.Pairs = o.Pairs[:1]
 	var worst float64
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		_, deg, err := experiments.Fig5a(o)
 		if err != nil {
 			b.Fatal(err)
@@ -94,6 +120,7 @@ func BenchmarkFig8b(b *testing.B) {
 	o := benchOptions()
 	var max uint64
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		_, heat, err := experiments.Fig8b(o)
 		if err != nil {
 			b.Fatal(err)
@@ -114,6 +141,7 @@ func BenchmarkFig10(b *testing.B) {
 	o.Pairs = o.Pairs[:1]
 	var speedup float64
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		_, res, err := experiments.Fig10(o)
 		if err != nil {
 			b.Fatal(err)
@@ -129,6 +157,7 @@ func BenchmarkFig11(b *testing.B) {
 	o.Pairs = o.Pairs[:1]
 	var bw float64
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		_, res, err := experiments.Fig11(o)
 		if err != nil {
 			b.Fatal(err)
@@ -142,6 +171,7 @@ func BenchmarkFig12(b *testing.B) {
 	o := benchOptions()
 	o.Pairs = o.Pairs[:1]
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, err := experiments.Fig12(o); err != nil {
 			b.Fatal(err)
 		}
@@ -151,6 +181,7 @@ func BenchmarkFig12(b *testing.B) {
 func BenchmarkFig13Sweep(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, _, err := experiments.Fig13Sweep(o); err != nil {
 			b.Fatal(err)
 		}
@@ -161,6 +192,7 @@ func BenchmarkAblationWriteNet(b *testing.B) {
 	o := benchOptions()
 	var nif float64
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		_, avg, err := experiments.AblationWriteNet(o)
 		if err != nil {
 			b.Fatal(err)
@@ -182,6 +214,7 @@ func BenchmarkAblationGC(b *testing.B) {
 func BenchmarkAblationL2(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
 		if _, _, err := experiments.AblationL2(o); err != nil {
 			b.Fatal(err)
 		}

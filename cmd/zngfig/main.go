@@ -3,10 +3,15 @@
 // Usage:
 //
 //	zngfig -fig fig10 [-scale 2.0] [-pairs betw-back,pr-gaus] [-workers 8]
-//	zngfig -fig all
+//	zngfig -fig all [-v]
 //
 // Figure ids: table1 table2 fig1b fig3 fig4c fig4d fig5a fig5bcd fig8b
 // fig10 fig11 fig12 fig13 abl-writenet abl-gc abl-l2 all.
+//
+// The figure drivers share a process-wide simulation memo: any (kind,
+// pair, scale, config) cell is simulated once per invocation no matter
+// how many figures need it, which is what makes `-fig all` tractable
+// at full scale. -v reports per-figure wall-clock and the dedup ratio.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"zng/internal/experiments"
 	"zng/internal/stats"
@@ -26,9 +32,13 @@ func main() {
 		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
 		pairsCS = flag.String("pairs", "", "comma-separated co-run pairs (default: all 12)")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		verbose = flag.Bool("v", false, "report per-figure wall-clock and simulation-memo stats")
 	)
 	flag.Parse()
 
+	if *scale <= 0 {
+		fatal(fmt.Errorf("scale must be positive, got %v", *scale))
+	}
 	o := experiments.DefaultOptions()
 	o.Scale = *scale
 	o.Workers = *workers
@@ -50,9 +60,17 @@ func main() {
 			"abl-writenet", "abl-gc", "abl-l2"}
 	}
 	for _, id := range ids {
+		start := time.Now()
 		if err := run(id, o); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "zngfig: %s in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *verbose {
+		sims, hits := experiments.CacheStats()
+		fmt.Fprintf(os.Stderr, "zngfig: %d unique simulations, %d served from memo\n", sims, hits)
 	}
 }
 

@@ -4,13 +4,19 @@
 // Usage:
 //
 //	zngsim -platform ZnG -pair betw-back -scale 2.0
+//	zngsim -platform ZnG-base -pair betw-back -cpuprofile zng.prof
 //	zngsim -list
+//
+// -cpuprofile captures a pprof profile of the simulation itself; this
+// is the loop used to find the simulator's hot paths (the rand-seeding
+// and event-queue costs this codebase has since eliminated).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 
 	"zng/internal/config"
@@ -21,10 +27,11 @@ import (
 
 func main() {
 	var (
-		plat  = flag.String("platform", "ZnG", "platform: Hetero, HybridGPU, Optane, ZnG-base, ZnG-rdopt, ZnG-wropt, ZnG, GDDR5")
-		pair  = flag.String("pair", "betw-back", "co-run workload pair")
-		scale = flag.Float64("scale", experiments.DefaultScale, "trace scale")
-		list  = flag.Bool("list", false, "list platforms and pairs")
+		plat    = flag.String("platform", "ZnG", "platform: Hetero, HybridGPU, Optane, ZnG-base, ZnG-rdopt, ZnG-wropt, ZnG, GDDR5")
+		pair    = flag.String("pair", "betw-back", "co-run workload pair")
+		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale")
+		list    = flag.Bool("list", false, "list platforms and pairs")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
@@ -38,6 +45,9 @@ func main() {
 		return
 	}
 
+	if *scale <= 0 {
+		fatal(fmt.Errorf("scale must be positive, got %v", *scale))
+	}
 	kind, err := parseKind(*plat)
 	if err != nil {
 		fatal(err)
@@ -46,7 +56,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The profile is stopped explicitly (not deferred): fatal exits via
+	// os.Exit, and a failing run — a runaway simulation hitting the
+	// event cap — is exactly the one worth profiling, so the file must
+	// be flushed before the error path.
+	stopProfile := func() {}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	r, err := platform.Run(kind, p, *scale, config.Default())
+	stopProfile()
 	if err != nil {
 		fatal(err)
 	}

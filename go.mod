@@ -1,0 +1,3 @@
+module zng
+
+go 1.24

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"zng/internal/platform"
+)
+
+// TestCacheDedupsRepeatedMatrices pins the tentpole property: running
+// the same matrix twice performs each unique simulation exactly once.
+func TestCacheDedupsRepeatedMatrices(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.013 // unique key-space for this test
+	o.Pairs = o.Pairs[:2]
+	kinds := []platform.Kind{platform.GDDR5, platform.Optane}
+	cells := uint64(len(kinds) * len(o.Pairs))
+
+	sims0, hits0 := CacheStats()
+	for run := 0; run < 2; run++ {
+		if _, err := runMatrix(o, kinds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sims, hits := CacheStats()
+	if got := sims - sims0; got != cells {
+		t.Errorf("unique simulations = %d, want %d (each cell exactly once)", got, cells)
+	}
+	if got := hits - hits0; got != cells {
+		t.Errorf("cache hits = %d, want %d (second run fully served from memo)", got, cells)
+	}
+}
+
+// TestCacheSingleFlight: concurrent requests for one cell coalesce
+// onto a single simulation.
+func TestCacheSingleFlight(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.017 // unique key-space for this test
+	sims0, _ := CacheStats()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]platform.Result, callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := runOne(o, platform.GDDR5, "betw-back")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	sims, _ := CacheStats()
+	if got := sims - sims0; got != 1 {
+		t.Errorf("concurrent identical runOne calls performed %d simulations, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i].IPC != results[0].IPC || results[i].Cycles != results[0].Cycles {
+			t.Errorf("caller %d saw a different result: %+v vs %+v", i, results[i], results[0])
+		}
+	}
+}
+
+// TestMatrixStopsAfterFirstError: once a cell fails, the matrix must
+// stop spawning work rather than grinding through every remaining
+// simulation.
+func TestMatrixStopsAfterFirstError(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.019 // unique key-space for this test
+	o.Workers = 1   // serialize so the failure lands before most spawns
+	// Unknown kinds fail in build() before any simulation work.
+	kinds := []platform.Kind{platform.Kind(97), platform.Kind(98), platform.Kind(99)}
+	cells := uint64(len(kinds) * len(o.Pairs))
+
+	sims0, _ := CacheStats()
+	_, err := runMatrix(o, kinds)
+	if err == nil {
+		t.Fatal("matrix of unknown kinds must error")
+	}
+	sims, _ := CacheStats()
+	if got := sims - sims0; got > cells/2 {
+		t.Errorf("attempted %d of %d cells after first failure, want early stop", got, cells)
+	}
+}
+
+func TestResetCache(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.013 // same key-space as the dedup test: already memoized
+	sims0, hits0 := CacheStats()
+	if _, err := runOne(o, platform.GDDR5, o.Pairs[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	sims, hits := CacheStats()
+	if sims != sims0 || hits != hits0+1 {
+		t.Fatalf("expected a pure cache hit, got sims %d->%d hits %d->%d", sims0, sims, hits0, hits)
+	}
+	ResetCache()
+	if s, h := CacheStats(); s != 0 || h != 0 {
+		t.Errorf("stats after reset = (%d, %d), want (0, 0)", s, h)
+	}
+	if _, err := runOne(o, platform.GDDR5, o.Pairs[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := CacheStats(); s != 1 {
+		t.Errorf("post-reset run simulated %d cells, want 1 (memo was dropped)", s)
+	}
+}

@@ -68,7 +68,13 @@ type cell struct {
 }
 
 // runMatrix simulates every (kind, pair) combination in parallel and
-// returns results keyed by kind and pair name.
+// returns results keyed by kind and pair name. Cells go through the
+// process-wide memo (cache.go), so a cell another figure already
+// simulated is free and concurrent duplicates coalesce. On the first
+// failing cell the matrix stops spawning new work: already-running
+// simulations drain (they are not interruptible mid-run and their
+// results stay valid in the memo), but no fresh cell starts once
+// firstErr is set.
 func runMatrix(o Options, kinds []platform.Kind) (map[platform.Kind]map[string]platform.Result, error) {
 	var cells []cell
 	for _, k := range kinds {
@@ -86,18 +92,37 @@ func runMatrix(o Options, kinds []platform.Kind) (map[platform.Kind]map[string]p
 		wg       sync.WaitGroup
 		firstErr error
 	)
+	failed := make(chan struct{})
 	sem := make(chan struct{}, o.workers())
+spawn:
 	for _, c := range cells {
 		c := c
+		select {
+		case <-failed:
+			break spawn
+		case sem <- struct{}{}:
+		}
+		// A select with both cases ready picks randomly; re-check under
+		// the lock so that once firstErr is set no further cell ever
+		// starts.
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			<-sem
+			break spawn
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			r, err := platform.Run(c.kind, c.pair, o.Scale, o.Cfg)
+			r, err := cachedRun(c.kind, c.pair, o.Scale, o.Cfg)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("%v on %s: %w", c.kind, c.pair.Name, err)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%v on %s: %w", c.kind, c.pair.Name, err)
+					close(failed)
+				}
 				return
 			}
 			out[c.kind][c.pair.Name] = r
@@ -107,11 +132,11 @@ func runMatrix(o Options, kinds []platform.Kind) (map[platform.Kind]map[string]p
 	return out, firstErr
 }
 
-// runOne simulates a single combination.
+// runOne simulates a single combination (memoized like matrix cells).
 func runOne(o Options, k platform.Kind, pairName string) (platform.Result, error) {
 	p, err := workload.PairByName(pairName)
 	if err != nil {
 		return platform.Result{}, err
 	}
-	return platform.Run(k, p, o.Scale, o.Cfg)
+	return cachedRun(k, p, o.Scale, o.Cfg)
 }

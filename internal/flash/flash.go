@@ -15,6 +15,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"zng/internal/config"
 	"zng/internal/sim"
@@ -51,7 +52,7 @@ func New(eng *sim.Engine, cfg config.Flash) *Backbone {
 			bb:     b,
 			Index:  i,
 			res:    sim.NewResource(eng),
-			blocks: make(map[int]*Block),
+			blocks: make([]*Block, cfg.BlocksPerPl),
 		})
 	}
 	return b
@@ -94,27 +95,51 @@ func (b *Backbone) TotalBytesProgrammed() uint64 {
 	return b.ArrayPrograms.Value() * uint64(b.Cfg.PageBytes)
 }
 
-// Block is the per-block state machine.
+// Block is the per-block state machine. Valid-page marks live in a
+// bitset: at 384 pages per block that is 48 bytes instead of a 384-
+// byte bool slice, and GC victim scoring (ValidCount) is six popcounts
+// instead of a 384-element walk.
 type Block struct {
 	WritePtr   int // next in-order programmable page; PagesPerBlock = full
 	EraseCount int
-	valid      []bool
+	pages      int
+	valid      []uint64 // bitset, bit i = page i holds live data
+}
+
+func newBlock(pages int) *Block {
+	return &Block{pages: pages, valid: make([]uint64, (pages+63)/64)}
 }
 
 // ValidCount reports programmed-and-valid pages (GC victim scoring).
 func (bl *Block) ValidCount() int {
 	n := 0
-	for _, v := range bl.valid {
-		if v {
-			n++
-		}
+	for _, w := range bl.valid {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
 
 // Valid reports whether a page holds live data.
 func (bl *Block) Valid(page int) bool {
-	return page < len(bl.valid) && bl.valid[page]
+	return page >= 0 && page < bl.pages && bl.valid[page/64]&(1<<(page%64)) != 0
+}
+
+func (bl *Block) setValid(page int)   { bl.valid[page/64] |= 1 << (page % 64) }
+func (bl *Block) clearValid(page int) { bl.valid[page/64] &^= 1 << (page % 64) }
+
+func (bl *Block) clearAll() {
+	for i := range bl.valid {
+		bl.valid[i] = 0
+	}
+}
+
+func (bl *Block) setAll() {
+	for i := range bl.valid {
+		bl.valid[i] = ^uint64(0)
+	}
+	if tail := bl.pages % 64; tail != 0 {
+		bl.valid[len(bl.valid)-1] = 1<<tail - 1
+	}
 }
 
 // Plane owns a set of blocks and a serialized array (one array
@@ -124,7 +149,9 @@ type Plane struct {
 	Index int
 	res   *sim.Resource
 
-	blocks map[int]*Block
+	// blocks is dense (index = block id) and lazily filled: untouched
+	// blocks hold no data and no wear, so they stay nil.
+	blocks []*Block
 
 	Reads    uint64 // per-plane counters for the Fig. 8b heatmap
 	Programs uint64
@@ -132,12 +159,12 @@ type Plane struct {
 
 // Block returns (lazily creating) block state.
 func (p *Plane) Block(i int) *Block {
-	if i < 0 || i >= p.bb.Cfg.BlocksPerPl {
+	if i < 0 || i >= len(p.blocks) {
 		panic(fmt.Sprintf("flash: block %d out of range", i))
 	}
-	bl, ok := p.blocks[i]
-	if !ok {
-		bl = &Block{valid: make([]bool, p.bb.Cfg.PagesPerBlock)}
+	bl := p.blocks[i]
+	if bl == nil {
+		bl = newBlock(p.bb.Cfg.PagesPerBlock)
 		p.blocks[i] = bl
 	}
 	return bl
@@ -149,9 +176,7 @@ func (p *Plane) Block(i int) *Block {
 func (p *Plane) Preload(block int) {
 	bl := p.Block(block)
 	bl.WritePtr = p.bb.Cfg.PagesPerBlock
-	for i := range bl.valid {
-		bl.valid[i] = true
-	}
+	bl.setAll()
 }
 
 // Read senses one page from the array (tR) and then calls fn. Reading
@@ -181,7 +206,7 @@ func (p *Plane) Program(block, page int, fn func()) error {
 		return ErrOutOfOrder
 	}
 	bl.WritePtr++
-	bl.valid[page] = true
+	bl.setValid(page)
 	p.Programs++
 	p.bb.ArrayPrograms.Inc()
 	p.res.Acquire(p.bb.Cfg.ProgramLat, fn)
@@ -192,8 +217,8 @@ func (p *Plane) Program(block, page int, fn func()) error {
 // a log block or was merged elsewhere).
 func (p *Plane) MarkInvalid(block, page int) {
 	bl := p.Block(block)
-	if page >= 0 && page < len(bl.valid) {
-		bl.valid[page] = false
+	if page >= 0 && page < bl.pages {
+		bl.clearValid(page)
 	}
 }
 
@@ -206,9 +231,7 @@ func (p *Plane) Erase(block int, fn func()) error {
 	}
 	bl.EraseCount++
 	bl.WritePtr = 0
-	for i := range bl.valid {
-		bl.valid[i] = false
-	}
+	bl.clearAll()
 	p.bb.Erases.Inc()
 	p.res.Acquire(p.bb.Cfg.EraseLat, fn)
 	return nil
@@ -239,7 +262,7 @@ func (p *Plane) ProgramRange(block, n int, fn func()) error {
 		return ErrNotErased
 	}
 	for i := 0; i < n; i++ {
-		bl.valid[bl.WritePtr+i] = true
+		bl.setValid(bl.WritePtr + i)
 	}
 	bl.WritePtr += n
 	p.Programs += uint64(n)
@@ -256,7 +279,7 @@ func (p *Plane) PreloadPage(block, page int) {
 	if page < 0 || page >= p.bb.Cfg.PagesPerBlock {
 		panic(ErrBadPage)
 	}
-	bl.valid[page] = true
+	bl.setValid(page)
 	if bl.WritePtr <= page {
 		bl.WritePtr = page + 1
 	}
@@ -268,10 +291,14 @@ func (p *Plane) BusyTicks() sim.Tick { return p.res.BusyTicks() }
 // NextFree reports when the plane's array is next idle.
 func (p *Plane) NextFree() sim.Tick { return p.res.NextFree() }
 
-// EachBlock visits every block that has materialized state (blocks
-// never touched are skipped; they hold no data and no wear).
+// EachBlock visits every block that has materialized state in block-id
+// order (blocks never touched are skipped; they hold no data and no
+// wear). The ascending order makes callers that break ties by visit
+// order — GC victim selection — deterministic.
 func (p *Plane) EachBlock(f func(id int, bl *Block)) {
 	for id, bl := range p.blocks {
-		f(id, bl)
+		if bl != nil {
+			f(id, bl)
+		}
 	}
 }

@@ -23,37 +23,89 @@ import (
 
 // planeAlloc hands out free blocks of one plane, lowest-erase-count
 // first (the wear-levelling policy of Section IV-A).
+//
+// Free blocks are bucketed by erase count, each bucket a FIFO in push
+// order. A block's erase count never changes while it sits in the free
+// list (erases happen just before push), so pop — drain the lowest
+// non-empty bucket front to back — returns exactly what the previous
+// O(n) free-list scan did: the earliest-freed block among those with
+// the least wear. Block allocation sits on the read path's first-touch
+// (Split.dataBlock) and was the hottest function in whole-platform
+// profiles; bucketing makes pop O(1).
 type planeAlloc struct {
-	plane *flash.Plane
-	free  []int
+	plane   *flash.Plane
+	buckets map[int]*allocBucket
+	minEC   int // lowest erase count that may have a non-empty bucket
+	count   int
 }
+
+// allocBucket is a FIFO of block ids sharing one erase count. head
+// indexes the next block to hand out; storage is reclaimed when the
+// bucket drains.
+type allocBucket struct {
+	blocks []int
+	head   int
+}
+
+func (b *allocBucket) empty() bool { return b == nil || b.head == len(b.blocks) }
 
 func newPlaneAlloc(p *flash.Plane, firstFree, blocks int) *planeAlloc {
-	a := &planeAlloc{plane: p}
-	for b := firstFree; b < blocks; b++ {
-		a.free = append(a.free, b)
+	// All blocks start at erase count zero; fill bucket 0 directly so
+	// construction does not materialize per-block state.
+	b := &allocBucket{blocks: make([]int, 0, blocks-firstFree)}
+	for i := firstFree; i < blocks; i++ {
+		b.blocks = append(b.blocks, i)
 	}
-	return a
+	return &planeAlloc{
+		plane:   p,
+		buckets: map[int]*allocBucket{0: b},
+		count:   len(b.blocks),
+	}
 }
 
-// pop removes and returns the free block with the lowest erase count.
+// pop removes and returns the free block with the lowest erase count
+// (FIFO among equals). Bucket keys are fixed at push time, so pop
+// re-validates: a block worn out-of-band while it sat free (erase
+// counts only ever grow) is refiled under its current count instead of
+// being handed out ahead of fresher blocks. Refiling is rare and each
+// refile strictly raises the block's bucket, so pop stays O(1)
+// amortized.
 func (a *planeAlloc) pop() (int, bool) {
-	if len(a.free) == 0 {
-		return 0, false
-	}
-	best := 0
-	for i, b := range a.free {
-		if a.plane.Block(b).EraseCount < a.plane.Block(a.free[best]).EraseCount {
-			best = i
+	for a.count > 0 {
+		b := a.buckets[a.minEC]
+		for b.empty() {
+			a.minEC++
+			b = a.buckets[a.minEC]
 		}
+		blk := b.blocks[b.head]
+		b.head++
+		if b.head == len(b.blocks) {
+			b.blocks, b.head = b.blocks[:0], 0
+		}
+		a.count--
+		if a.plane.Block(blk).EraseCount != a.minEC {
+			a.push(blk)
+			continue
+		}
+		return blk, true
 	}
-	b := a.free[best]
-	a.free = append(a.free[:best], a.free[best+1:]...)
-	return b, true
+	return 0, false
 }
 
-// push returns a block to the free list.
-func (a *planeAlloc) push(b int) { a.free = append(a.free, b) }
+// push returns a block to the free list under its current erase count.
+func (a *planeAlloc) push(blk int) {
+	ec := a.plane.Block(blk).EraseCount
+	b := a.buckets[ec]
+	if b == nil {
+		b = &allocBucket{}
+		a.buckets[ec] = b
+	}
+	b.blocks = append(b.blocks, blk)
+	if ec < a.minEC {
+		a.minEC = ec
+	}
+	a.count++
+}
 
 // freeCount reports available blocks.
-func (a *planeAlloc) freeCount() int { return len(a.free) }
+func (a *planeAlloc) freeCount() int { return a.count }

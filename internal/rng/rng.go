@@ -1,0 +1,91 @@
+// Package rng provides the simulator's pseudo-random number
+// generator: a xoshiro256** core seeded through a splitmix64
+// expansion.
+//
+// The legacy math/rand Source the workload generators originally used
+// pays a ~20k-operation lagged-Fibonacci warm-up on every
+// rand.NewSource call; profiling the trace generators showed ~89% of
+// CPU inside that seeding loop, because a fresh generator is built per
+// (kernel, warp) stream. Seeding here is O(1) — four splitmix64 steps
+// — so constructing a generator per stream is effectively free, and
+// the stream remains a pure function of its 64-bit seed.
+//
+// The generator is deliberately minimal: exactly the draws the
+// workload package needs (Uint64, Intn, Float64), all deterministic
+// across platforms and Go releases. It is not safe for concurrent use
+// and is not cryptographically secure.
+package rng
+
+import "math/bits"
+
+// RNG is a xoshiro256** generator. The zero value is NOT usable: the
+// all-zero state is xoshiro's one absorbing state and emits zero
+// forever. Always construct through New, which cannot produce it.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded from the given 64-bit seed. Seeding
+// is O(1): the four state words are consecutive splitmix64 outputs,
+// which both scrambles adjacent seeds apart and guarantees a non-zero
+// state (splitmix64's output function is a bijection, so four
+// consecutive outputs cannot all be zero).
+func New(seed uint64) RNG {
+	var r RNG
+	r.s0 = splitmix64(&seed)
+	r.s1 = splitmix64(&seed)
+	r.s2 = splitmix64(&seed)
+	r.s3 = splitmix64(&seed)
+	return r
+}
+
+// splitmix64 advances the counter and returns the next output of
+// Steele et al.'s SplitMix64 sequence.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniform bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniform draw in [0, n) using Lemire's
+// nearly-divisionless bounded method. n must be non-zero.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0,
+// matching math/rand.Intn.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 { return float64(r.Uint64()>>11) * (1.0 / (1 << 53)) }

@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	r1, r2 := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	// Adjacent seeds (the workload mixes kernel/warp indexes into low
+	// bits) must produce unrelated first draws.
+	seen := map[uint64]uint64{}
+	for seed := uint64(0); seed < 1000; seed++ {
+		r := New(seed)
+		v := r.Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("seeds %d and %d share first draw %x", prev, seed, v)
+		}
+		seen[v] = seed
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	var orAll uint64
+	for i := 0; i < 64; i++ {
+		orAll |= r.Uint64()
+	}
+	if orAll != ^uint64(0) {
+		t.Errorf("seed-0 outputs never set some bits: %x", orAll)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 31, 32, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r := New(1)
+	r.Intn(0)
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := New(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+// BenchmarkNew pins the point of the package: O(1) seeding. The legacy
+// rand.NewSource this replaces costs ~20k operations per seed.
+func BenchmarkNew(b *testing.B) {
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		r := New(uint64(i))
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

@@ -12,8 +12,6 @@
 // reproducible.
 package sim
 
-import "container/heap"
-
 // Tick is simulated time measured in GPU core cycles.
 type Tick int64
 
@@ -23,24 +21,30 @@ type event struct {
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// before orders events by (when, seq): time first, then schedule
+// order, which is what makes same-tick events fire FIFO.
+func (a event) before(b event) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+//
+// The event queue is a hand-rolled 4-ary min-heap rather than
+// container/heap: the interface-based heap boxes every pushed event
+// into an `any` (one allocation per Schedule) and dispatches every
+// comparison through an interface call. A simulation fires hundreds of
+// millions of events, so the queue is the hottest structure in the
+// whole model; the monomorphic heap pushes and pops with zero
+// allocations on the steady state (the backing slice is retained
+// across pushes) and a 4-ary layout halves tree depth, trading a few
+// extra comparisons per level for far fewer cache-missing swaps.
 type Engine struct {
 	now    Tick
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by event.before
 	fired  uint64
 }
 
@@ -77,7 +81,65 @@ func (e *Engine) ScheduleAt(t Tick, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{when: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
+}
+
+// siftUp restores the heap property after appending at index i.
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(e.events[parent]) {
+			break
+		}
+		e.events[i] = e.events[parent]
+		i = parent
+	}
+	e.events[i] = ev
+}
+
+// pop removes and returns the minimum event. The backing slice keeps
+// its capacity, and the vacated slot is cleared so the fired closure
+// does not outlive its turn in the queue.
+func (e *Engine) pop() event {
+	root := e.events[0]
+	n := len(e.events) - 1
+	last := e.events[n]
+	e.events[n] = event{} // release the closure for GC
+	e.events = e.events[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev (the displaced last element) starting from the
+// root, walking toward the smaller of up to four children.
+func (e *Engine) siftDown(ev event) {
+	i, n := 0, len(e.events)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.events[c].before(e.events[min]) {
+				min = c
+			}
+		}
+		if !e.events[min].before(ev) {
+			break
+		}
+		e.events[i] = e.events[min]
+		i = min
+	}
+	e.events[i] = ev
 }
 
 // Step fires the next event, advancing time to it. It reports whether
@@ -86,7 +148,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.when
 	e.fired++
 	ev.fn()

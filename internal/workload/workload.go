@@ -24,7 +24,8 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+
+	"zng/internal/rng"
 )
 
 // SectorBytes is the coalesced GPU memory access size (Section III-A:
@@ -44,11 +45,23 @@ type Access struct {
 
 // Inst is one warp instruction: an arithmetic run-length followed by
 // an optional memory operation (the coalescer's output sectors).
+//
+// Acc aliases a per-stream scratch buffer: it is valid until the next
+// Next call on the stream that produced it. Trace consumers issue an
+// instruction's accesses before fetching the next instruction, and the
+// aliasing removes one slice allocation per memory instruction —
+// per-instruction garbage the trace generators cannot afford at the
+// billions-of-events scale the simulator runs at.
 type Inst struct {
 	PC  uint64
 	ALU int // arithmetic instructions preceding the memory op
 	Acc []Access
 }
+
+// maxAccPerInst sizes the in-stream access buffer; gathers with more
+// sectors than this (no Table II spec comes close) fall back to a
+// heap-allocated slice.
+const maxAccPerInst = 8
 
 // Spec statically describes one application of Table II plus the
 // locality calibration targets.
@@ -172,11 +185,14 @@ type Stream struct {
 	app    *App
 	kernel int
 	warp   int
-	rng    *rand.Rand
+	rng    rng.RNG
 	step   int
 
 	seqCursor uint64
 	readFrac  float64 // instruction-level read probability
+
+	// accBuf backs Inst.Acc between Next calls (see Inst).
+	accBuf [maxAccPerInst]Access
 
 	// Write burst state: a warp keeps storing into one page for a few
 	// consecutive writes (real stores exhibit temporal locality within
@@ -201,13 +217,13 @@ func (a *App) Stream(kernel, warp int) *Stream {
 	if warp < 0 || warp >= a.Spec.WarpsPerKernel {
 		panic(fmt.Sprintf("workload: warp %d out of range", warp))
 	}
-	seed := a.Spec.Seed ^ int64(a.Index)<<48 ^ int64(kernel)<<24 ^ int64(warp)
+	seed := uint64(a.Spec.Seed) ^ uint64(a.Index)<<48 ^ uint64(kernel)<<24 ^ uint64(warp)
 	strip := uint64(kernel*a.Spec.WarpsPerKernel+warp) * uint64(a.instPerWK) * SectorBytes
 	return &Stream{
 		app:       a,
 		kernel:    kernel,
 		warp:      warp,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rng.New(seed),
 		seqCursor: a.vaBase + regSeq + strip,
 		readFrac:  a.readInstFrac(),
 	}
@@ -247,7 +263,7 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 		addr := s.seqCursor
 		s.seqCursor += SectorBytes
 
-		inst = Inst{PC: pcBase | 0x10, ALU: alu, Acc: []Access{{Addr: addr}}}
+		inst = Inst{PC: pcBase | 0x10, ALU: alu, Acc: append(s.accBuf[:0], Access{Addr: addr})}
 	case doRead:
 		// Random gather over the hot pool with quadratic skew: a graph
 		// neighbour list is a short contiguous run inside one random
@@ -263,10 +279,10 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 		page := s.zipfPage(s.app.hotPages)
 		sectors := uint64(PageBytes / SectorBytes)
 		start := uint64(s.rng.Intn(int(sectors)))
-		acc := make([]Access, n)
-		for i := range acc {
+		acc := s.accBuf[:0]
+		for i := 0; i < n; i++ {
 			sector := (start + uint64(i)) % sectors
-			acc[i] = Access{Addr: s.app.vaBase + regHot + page*PageBytes + sector*SectorBytes}
+			acc = append(acc, Access{Addr: s.app.vaBase + regHot + page*PageBytes + sector*SectorBytes})
 		}
 		inst = Inst{PC: pcBase | 0x20, ALU: alu, Acc: acc}
 	default:
@@ -303,7 +319,7 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 		}
 		sector := uint64(s.rng.Intn(PageBytes / SectorBytes))
 		inst = Inst{PC: pcBase | 0x30, ALU: alu,
-			Acc: []Access{{Addr: s.app.vaBase + regWrite + s.writeVP*PageBytes + sector*SectorBytes, Write: true}}}
+			Acc: append(s.accBuf[:0], Access{Addr: s.app.vaBase + regWrite + s.writeVP*PageBytes + sector*SectorBytes, Write: true})}
 	}
 	return inst, true
 }

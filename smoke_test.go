@@ -1,0 +1,56 @@
+package zng_test
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestBenchSmoke runs every benchmark of the harness exactly once
+// (the -benchtime=1x contract, set programmatically) so that plain
+// `go test ./...` exercises the bench code paths: a driver that starts
+// failing or panicking breaks the test suite instead of rotting
+// silently until someone next runs -bench.
+func TestBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short mode")
+	}
+	bt := flag.Lookup("test.benchtime")
+	if bt == nil {
+		t.Fatal("test.benchtime flag not registered")
+	}
+	old := bt.Value.String()
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("test.benchtime", old)
+
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"TableII", BenchmarkTableII},
+		{"Fig1b", BenchmarkFig1b},
+		{"Fig3", BenchmarkFig3},
+		{"Fig4c", BenchmarkFig4c},
+		{"Fig4d", BenchmarkFig4d},
+		{"Fig5a", BenchmarkFig5a},
+		{"Fig5bcd", BenchmarkFig5bcd},
+		{"Fig8b", BenchmarkFig8b},
+		{"Fig10", BenchmarkFig10},
+		{"Fig11", BenchmarkFig11},
+		{"Fig12", BenchmarkFig12},
+		{"Fig13Sweep", BenchmarkFig13Sweep},
+		{"AblationWriteNet", BenchmarkAblationWriteNet},
+		{"AblationGC", BenchmarkAblationGC},
+		{"AblationL2", BenchmarkAblationL2},
+		{"Platforms", BenchmarkPlatforms},
+	} {
+		bm := bm
+		t.Run(bm.name, func(t *testing.T) {
+			r := testing.Benchmark(bm.fn)
+			if r.N < 1 {
+				t.Fatalf("benchmark %s did not complete an iteration (it failed)", bm.name)
+			}
+		})
+	}
+}
