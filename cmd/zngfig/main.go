@@ -3,10 +3,20 @@
 // Usage:
 //
 //	zngfig -fig fig10 [-scale 2.0] [-pairs betw-back,pr-gaus] [-workers 8]
+//	zngfig -fig all -out out -format csv
+//	zngfig -fig docs -out docs
 //	zngfig -fig all [-v]
 //
-// Figure ids: table1 table2 fig1b fig3 fig4c fig4d fig5a fig5bcd fig8b
-// fig10 fig11 fig12 fig13 abl-writenet abl-gc abl-l2 all.
+// Figure ids come from the experiments registry (experiments.Registry);
+// run with an unknown id to get the current list. Two meta-targets
+// exist: "all" regenerates every registered figure, and "docs"
+// regenerates the repository's generated documents docs/EXPERIMENTS.md
+// and docs/DESIGN.md at the canonical docs scale (CI diffs them, so
+// their output is deterministic).
+//
+// -format selects md, csv or json rendering; -out writes one file per
+// figure (<id>.<format>) into a directory instead of printing. Without
+// either, figures print as plain text tables.
 //
 // The figure drivers share a process-wide simulation memo: any (kind,
 // pair, scale, config) cell is simulated once per invocation no matter
@@ -18,20 +28,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"slices"
 	"strings"
 	"time"
 
 	"zng/internal/experiments"
+	"zng/internal/report"
 	"zng/internal/stats"
 	"zng/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id to regenerate")
+		fig     = flag.String("fig", "all", "figure id to regenerate, or all, or docs")
 		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
 		pairsCS = flag.String("pairs", "", "comma-separated co-run pairs (default: all 12)")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		outDir  = flag.String("out", "", "write figures to this directory instead of stdout")
+		format  = flag.String("format", "", "rendering: md, csv or json (default: text to stdout, md with -out)")
 		verbose = flag.Bool("v", false, "report per-figure wall-clock and simulation-memo stats")
 	)
 	flag.Parse()
@@ -39,94 +54,151 @@ func main() {
 	if *scale <= 0 {
 		fatal(fmt.Errorf("scale must be positive, got %v", *scale))
 	}
-	o := experiments.DefaultOptions()
-	o.Scale = *scale
-	o.Workers = *workers
-	if *pairsCS != "" {
-		o.Pairs = nil
-		for _, name := range strings.Split(*pairsCS, ",") {
-			p, err := workload.PairByName(strings.TrimSpace(name))
-			if err != nil {
-				fatal(err)
-			}
-			o.Pairs = append(o.Pairs, p)
-		}
+	// Reject a bad format before any simulation runs: at full scale a
+	// figure costs minutes, and report.Render would only error after.
+	if *format != "" && !slices.Contains(report.Formats(), *format) {
+		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(report.Formats(), ", ")))
 	}
+
+	if *fig == "docs" {
+		// The docs target always renders Markdown documents; reject a
+		// contradictory -format instead of silently ignoring it.
+		if *format != "" && *format != "md" {
+			fatal(fmt.Errorf("-fig docs renders Markdown documents; -format %s is not supported", *format))
+		}
+		// Docs default to the canonical DocsOptions regime so
+		// `zngfig -fig docs` always reproduces the committed files;
+		// explicit flags still override for ad-hoc larger runs.
+		o := experiments.DocsOptions()
+		applyExplicitFlags(&o, *scale, *pairsCS, *workers)
+		dir := *outDir
+		if dir == "" {
+			dir = "docs"
+			// Warn when an override would clobber the canonical
+			// committed docs with non-canonical content.
+			if canonical := experiments.DocsOptions(); o.Scale != canonical.Scale || len(o.Pairs) != len(canonical.Pairs) {
+				fmt.Fprintln(os.Stderr, "zngfig: warning: non-canonical -scale/-pairs writing into docs/; the CI freshness job will flag the drift (use -out DIR for ad-hoc runs)")
+			}
+		}
+		start := time.Now()
+		ds, err := report.WriteDocs(dir, o)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "zngfig: docs -> %s in %v (%d/%d shape checks pass)\n",
+				dir, time.Since(start).Round(time.Millisecond), ds.Passed, ds.Checked)
+			reportMemo()
+		}
+		// The docs record FAIL verdicts honestly, but the run itself
+		// must go red so a shape regression cannot land with green CI.
+		if ds.Failed > 0 {
+			fatal(fmt.Errorf("%d of %d shape checks FAILED — see %s/EXPERIMENTS.md", ds.Failed, ds.Checked, dir))
+		}
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	applyExplicitFlags(&o, *scale, *pairsCS, *workers)
 
 	ids := []string{*fig}
 	if *fig == "all" {
-		ids = []string{"table1", "table2", "fig1b", "fig3", "fig4c", "fig4d",
-			"fig5a", "fig5bcd", "fig8b", "fig10", "fig11", "fig12", "fig13",
-			"abl-writenet", "abl-gc", "abl-l2"}
+		ids = experiments.FigureIDs()
 	}
+	// Several JSON documents on one stdout would not parse; collect
+	// the tables and emit a single array instead.
+	collectJSON := *outDir == "" && *format == "json" && len(ids) > 1
+	var collected []*stats.Table
 	for _, id := range ids {
+		f, err := experiments.FigureByID(id)
+		if err != nil {
+			fatal(err)
+		}
 		start := time.Now()
-		if err := run(id, o); err != nil {
+		if collectJSON {
+			t, err := f.Run(o)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			collected = append(collected, t)
+		} else if err := emit(f, o, *outDir, *format); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "zngfig: %s in %v\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if collectJSON {
+		if _, err := os.Stdout.Write(report.JSONAll(collected)); err != nil {
+			fatal(err)
+		}
+	}
 	if *verbose {
-		sims, hits := experiments.CacheStats()
-		fmt.Fprintf(os.Stderr, "zngfig: %d unique simulations, %d served from memo\n", sims, hits)
+		reportMemo()
 	}
 }
 
-func run(id string, o experiments.Options) error {
-	var (
-		t   *stats.Table
-		err error
-	)
-	switch id {
-	case "table1":
-		t = experiments.TableI(o.Cfg)
-	case "table2":
-		t = experiments.TableII(min1(o.Scale))
-	case "fig1b":
-		t = experiments.Fig1b(o.Cfg)
-	case "fig3":
-		t = experiments.Fig3(o.Cfg)
-	case "fig4c":
-		t = experiments.Fig4c(o.Cfg)
-	case "fig4d":
-		t, _, _ = experiments.Fig4d(o.Cfg)
-	case "fig5a":
-		t, _, err = experiments.Fig5a(o)
-	case "fig5bcd":
-		t, err = experiments.Fig5bcd(o)
-	case "fig8b":
-		t, _, err = experiments.Fig8b(o)
-	case "fig10":
-		t, _, err = experiments.Fig10(o)
-	case "fig11":
-		t, _, err = experiments.Fig11(o)
-	case "fig12":
-		t, err = experiments.Fig12(o)
-	case "fig13":
-		t, _, err = experiments.Fig13Sweep(o)
-	case "abl-writenet":
-		t, _, err = experiments.AblationWriteNet(o)
-	case "abl-gc":
-		t, _ = experiments.AblationGC()
-	case "abl-l2":
-		t, _, err = experiments.AblationL2(o)
-	default:
-		return fmt.Errorf("unknown figure id %q", id)
-	}
+// applyExplicitFlags folds only the flags the user actually set into
+// o, so meta-targets with their own defaults (docs) are not clobbered
+// by flag package defaults.
+func applyExplicitFlags(o *experiments.Options, scale float64, pairsCS string, workers int) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "scale":
+			o.Scale = scale
+		case "workers":
+			o.Workers = workers
+		case "pairs":
+			if pairsCS == "" {
+				return // explicit -pairs "" keeps the default set
+			}
+			o.Pairs = nil
+			for _, name := range strings.Split(pairsCS, ",") {
+				p, err := workload.PairByName(strings.TrimSpace(name))
+				if err != nil {
+					fatal(err)
+				}
+				o.Pairs = append(o.Pairs, p)
+			}
+		}
+	})
+}
+
+// emit runs one figure and delivers it: to stdout in text (default) or
+// the requested format, or into outDir as <id>.<format>.
+func emit(f experiments.Figure, o experiments.Options, outDir, format string) error {
+	t, err := f.Run(o)
 	if err != nil {
 		return err
 	}
-	fmt.Println(t)
-	return nil
+	if outDir == "" {
+		if format == "" {
+			fmt.Println(t)
+			return nil
+		}
+		out, err := report.Render(t, format)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if format == "" {
+		format = "md"
+	}
+	out, err := report.Render(t, format)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(outDir, f.ID+"."+format), out, 0o644)
 }
 
-func min1(s float64) float64 {
-	if s > 1 {
-		return 1
-	}
-	return s
+func reportMemo() {
+	sims, hits := experiments.CacheStats()
+	fmt.Fprintf(os.Stderr, "zngfig: %d unique simulations, %d served from memo\n", sims, hits)
 }
 
 func fatal(err error) {

@@ -1,0 +1,53 @@
+// Godoc audit: every internal package must carry a package comment
+// substantial enough to state what it models (the convention in this
+// repo: each names the ZnG paper section or figure it reproduces).
+// docs/DESIGN.md points readers at these comments, so their absence is
+// a documentation regression, not a style nit.
+package zng_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInternalPackagesHaveGodoc(t *testing.T) {
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("internal", e.Name())
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		var doc string
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			for _, f := range pkg.Files {
+				if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+					doc = f.Doc.Text()
+				}
+			}
+		}
+		if doc == "" {
+			t.Errorf("package %s has no godoc package comment", dir)
+			continue
+		}
+		// One sentence of boilerplate is not an explanation of what
+		// the package models.
+		if len(doc) < 120 {
+			t.Errorf("package %s godoc is a stub (%d chars): %q", dir, len(doc), doc)
+		}
+	}
+}

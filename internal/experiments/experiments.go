@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the ZnG
-// paper's evaluation (Section V) plus the ablations DESIGN.md calls
-// out. Each driver returns a stats.Table holding the same rows or
-// series the paper plots; EXPERIMENTS.md records paper-vs-measured for
-// each.
+// paper's evaluation (Section V) plus the ablations docs/DESIGN.md
+// calls out. Each driver returns a stats.Table holding the same rows
+// or series the paper plots; the registry (registry.go) binds each
+// figure id to its driver, paper claim and shape check, and the
+// generated docs/EXPERIMENTS.md records paper-vs-measured for each.
 //
 // Absolute numbers are not expected to match the authors' testbed —
 // the substrate here is a from-scratch simulator with synthetic traces

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete parses every non-test source file of this
+// package and asserts a bijection between drivers (exported functions
+// whose first result is *stats.Table) and registry entries: every
+// driver is registered exactly once and every registered Driver name
+// exists. Adding a figure — in any file — without a registry entry
+// (or vice versa) fails here.
+func TestRegistryComplete(t *testing.T) {
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	drivers := map[string]bool{}
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, file, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+				continue
+			}
+			if isStatsTablePtr(fd.Type.Results.List[0].Type) {
+				drivers[fd.Name.Name] = true
+			}
+		}
+	}
+	if len(drivers) == 0 {
+		t.Fatal("found no drivers; parser broken?")
+	}
+
+	registered := map[string]int{}
+	ids := map[string]int{}
+	for _, fig := range Registry() {
+		registered[fig.Driver]++
+		ids[fig.ID]++
+		if fig.ID == "" || fig.Ref == "" || fig.Title == "" || fig.Claim == "" ||
+			fig.Shape == "" || fig.Run == nil || fig.Check == nil {
+			t.Errorf("registry entry %q is incomplete: %+v", fig.ID, fig)
+		}
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Errorf("figure id %q registered %d times", id, n)
+		}
+	}
+	for d := range drivers {
+		if registered[d] == 0 {
+			t.Errorf("driver %s has no registry entry", d)
+		}
+	}
+	for d, n := range registered {
+		if !drivers[d] {
+			t.Errorf("registry names driver %s, which no driver file defines", d)
+		}
+		if n != 1 {
+			t.Errorf("driver %s registered %d times", d, n)
+		}
+	}
+}
+
+// isStatsTablePtr reports whether an AST type expression is
+// *stats.Table.
+func isStatsTablePtr(e ast.Expr) bool {
+	star, ok := e.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Table" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "stats"
+}
+
+func TestFigureByID(t *testing.T) {
+	f, err := FigureByID("fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Driver != "Fig10" || f.ID != "fig10" {
+		t.Errorf("resolved %+v", f)
+	}
+
+	_, err = FigureByID("fig99")
+	if err == nil {
+		t.Fatal("want error for unknown id")
+	}
+	// The error must teach the valid vocabulary (the zngfig fail-fast
+	// contract): every id plus the meta-targets.
+	for _, id := range append(FigureIDs(), "all", "docs") {
+		if !strings.Contains(err.Error(), id) {
+			t.Errorf("error %q does not list %q", err, id)
+		}
+	}
+}
+
+func TestDocsOptions(t *testing.T) {
+	o := DocsOptions()
+	if len(o.Pairs) != 12 {
+		t.Errorf("docs runs must cover all 12 pairs, got %d", len(o.Pairs))
+	}
+	te := TestOptions()
+	if o.Scale != te.Scale || o.Cfg != te.Cfg {
+		t.Error("docs regime must match the test regime (scale and config)")
+	}
+}

@@ -84,7 +84,7 @@ func TestFig10Ordering(t *testing.T) {
 		res[k] = runOne(t, k)
 	}
 	// At this shrunk test scale ZnG and Optane run near parity; the
-	// full-scale figure runs (EXPERIMENTS.md) show ZnG ahead. Guard
+	// full-scale figure runs (docs/EXPERIMENTS.md) show ZnG ahead. Guard
 	// against regression below parity band.
 	if !(res[ZnG].IPC > 0.9*res[Optane].IPC) {
 		t.Errorf("ZnG (%.4f) fell far below Optane (%.4f)", res[ZnG].IPC, res[Optane].IPC)

@@ -1,0 +1,144 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zng/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleTable exercises the emitters' edge cases: float trimming,
+// a cell containing a pipe, an empty trailing cell, and a short row.
+func sampleTable() *stats.Table {
+	t := stats.NewTable("Golden: sample table", "name", "value", "note")
+	t.AddRow("alpha", 1.0, "first")
+	t.AddRow("beta", 0.125, "pipe|cell")
+	t.AddRow("gamma", 12345.678, "")
+	t.AddRow("short", 42)
+	return t
+}
+
+func TestGoldenEmitters(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		got    []byte
+	}{
+		{"md", []byte(Markdown(sampleTable()))},
+		{"csv", []byte(CSV(sampleTable()))},
+		{"json", JSON(sampleTable())},
+	} {
+		path := filepath.Join("testdata", "sample."+tc.format+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test ./internal/report -update` to create)", tc.format, err)
+		}
+		if !bytes.Equal(tc.got, want) {
+			t.Errorf("%s output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s",
+				tc.format, tc.got, want)
+		}
+	}
+}
+
+// TestEmittersByteStable re-renders the same table and demands
+// identical bytes — the determinism the docs-freshness CI job relies
+// on at the emitter level.
+func TestEmittersByteStable(t *testing.T) {
+	for _, format := range []string{"md", "csv", "json"} {
+		a, err := Render(sampleTable(), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Render(sampleTable(), format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s rendering not byte-stable", format)
+		}
+	}
+}
+
+func TestRenderUnknownFormat(t *testing.T) {
+	if _, err := Render(sampleTable(), "xml"); err == nil {
+		t.Error("want error for unknown format")
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	md := Markdown(sampleTable())
+	if !strings.Contains(md, `pipe\|cell`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+	// Every table line must have the same number of columns.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "|") {
+			if n := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|"); n != 4 {
+				t.Errorf("ragged row (%d pipes): %q", n, line)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	out := CSV(sampleTable())
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// Comment title + header + 4 data rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "# Golden") {
+		t.Errorf("missing title comment: %q", lines[0])
+	}
+	if lines[1] != "name,value,note" {
+		t.Errorf("header = %q", lines[1])
+	}
+	// The short row is padded to the header width.
+	if lines[5] != "short,42," {
+		t.Errorf("short row = %q, want padded", lines[5])
+	}
+}
+
+func TestJSONAllIsOneDocument(t *testing.T) {
+	out := JSONAll([]*stats.Table{sampleTable(), sampleTable()})
+	var docs []struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &docs); err != nil {
+		t.Fatalf("multi-table JSON is not one parseable document: %v", err)
+	}
+	if len(docs) != 2 || docs[0].Title != "Golden: sample table" || len(docs[1].Rows) != 4 {
+		t.Errorf("unexpected array content: %+v", docs)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	out := string(JSON(sampleTable()))
+	for _, want := range []string{`"title"`, `"header"`, `"rows"`, `"pipe|cell"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	// Stable key order: title before header before rows.
+	if !(strings.Index(out, `"title"`) < strings.Index(out, `"header"`) &&
+		strings.Index(out, `"header"`) < strings.Index(out, `"rows"`)) {
+		t.Error("JSON key order unstable")
+	}
+}

@@ -139,8 +139,8 @@ func TestTrimFloat(t *testing.T) {
 		0:     "0",
 	}
 	for in, want := range cases {
-		if got := trimFloat(in); got != want {
-			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -27,9 +27,9 @@ func (t *Table) AddRow(cells ...any) {
 		case string:
 			row[i] = v
 		case float64:
-			row[i] = trimFloat(v)
+			row[i] = FormatFloat(v)
 		case float32:
-			row[i] = trimFloat(float64(v))
+			row[i] = FormatFloat(float64(v))
 		default:
 			row[i] = fmt.Sprintf("%v", v)
 		}
@@ -40,8 +40,29 @@ func (t *Table) AddRow(cells ...any) {
 // Rows reports the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Cols reports the number of columns (the header width).
+func (t *Table) Cols() int { return len(t.header) }
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string {
+	out := make([]string, len(t.header))
+	copy(out, t.header)
+	return out
+}
+
 // Cell returns the formatted cell at row r, column c.
 func (t *Table) Cell(r, c int) string { return t.rows[r][c] }
+
+// Row returns a copy of data row r. Rows may be shorter than the
+// header when trailing cells were omitted.
+func (t *Table) Row(r int) []string {
+	out := make([]string, len(t.rows[r]))
+	copy(out, t.rows[r])
+	return out
+}
 
 // String renders the table.
 func (t *Table) String() string {
@@ -81,7 +102,10 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-func trimFloat(v float64) string {
+// FormatFloat renders a float the way table cells do: three decimals
+// with trailing zeros (and a bare sign) trimmed. It is the
+// deterministic formatting every emitter shares.
+func FormatFloat(v float64) string {
 	s := fmt.Sprintf("%.3f", v)
 	s = strings.TrimRight(s, "0")
 	s = strings.TrimRight(s, ".")

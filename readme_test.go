@@ -1,0 +1,36 @@
+// README audit: the figure-id table in README.md duplicates the
+// registry for discoverability; this test pins it to the registry so
+// a new figure PR cannot land without updating the README row (the
+// generated docs/ inventory updates itself via the CI freshness job).
+package zng_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"zng/internal/experiments"
+)
+
+func TestReadmeListsEveryFigure(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(readme)
+	for _, id := range experiments.FigureIDs() {
+		if !strings.Contains(s, "`"+id+"`") {
+			t.Errorf("README.md figure table is missing `%s`; keep it in sync with experiments.Registry", id)
+		}
+	}
+	for _, flagDoc := range []string{"-out DIR", "-format md|csv|json", "-fig docs"} {
+		if !strings.Contains(s, flagDoc) {
+			t.Errorf("README.md no longer documents %q", flagDoc)
+		}
+	}
+	for _, example := range []string{"examples/quickstart", "examples/graphanalytics", "examples/designspace"} {
+		if !strings.Contains(s, example) {
+			t.Errorf("README.md no longer documents %s", example)
+		}
+	}
+}
