@@ -21,7 +21,7 @@ import (
 
 func benchOptions() experiments.Options {
 	o := experiments.TestOptions()
-	o.Pairs = workload.Pairs()[:2]
+	o.Mixes = workload.PaperPairs()[:2]
 	return o
 }
 
@@ -90,7 +90,7 @@ func BenchmarkFig4d(b *testing.B) {
 
 func BenchmarkFig5a(b *testing.B) {
 	o := benchOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
@@ -138,7 +138,7 @@ func BenchmarkFig8b(b *testing.B) {
 
 func BenchmarkFig10(b *testing.B) {
 	o := benchOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
@@ -146,7 +146,7 @@ func BenchmarkFig10(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		pair := o.Pairs[0].Name
+		pair := o.Mixes[0].Name
 		speedup = res[platform.ZnG][pair].IPC / res[platform.HybridGPU][pair].IPC
 	}
 	b.ReportMetric(speedup, "zng_vs_hybrid_x")
@@ -154,7 +154,7 @@ func BenchmarkFig10(b *testing.B) {
 
 func BenchmarkFig11(b *testing.B) {
 	o := benchOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	var bw float64
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
@@ -162,14 +162,14 @@ func BenchmarkFig11(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bw = res[platform.ZnG][o.Pairs[0].Name].FlashArrayGBps()
+		bw = res[platform.ZnG][o.Mixes[0].Name].FlashArrayGBps()
 	}
 	b.ReportMetric(bw, "zng_flash_gbps")
 }
 
 func BenchmarkFig12(b *testing.B) {
 	o := benchOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	for i := 0; i < b.N; i++ {
 		experiments.ResetCache()
 		if _, err := experiments.Fig12(o); err != nil {
@@ -202,6 +202,20 @@ func BenchmarkAblationWriteNet(b *testing.B) {
 	b.ReportMetric(nif, "nif_ipc")
 }
 
+func BenchmarkAblationConsolidation(b *testing.B) {
+	o := benchOptions()
+	var retained float64
+	for i := 0; i < b.N; i++ {
+		experiments.ResetCache()
+		_, ipc, err := experiments.AblationConsolidation(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retained = ipc[platform.ZnG][3] / ipc[platform.ZnG][0]
+	}
+	b.ReportMetric(retained, "zng_deg4_vs_solo")
+}
+
 func BenchmarkAblationGC(b *testing.B) {
 	var merges uint64
 	for i := 0; i < b.N; i++ {
@@ -225,13 +239,13 @@ func BenchmarkAblationL2(b *testing.B) {
 // useful when profiling the simulator itself.
 func BenchmarkPlatforms(b *testing.B) {
 	o := benchOptions()
-	pair := o.Pairs[0]
+	mix := o.Mixes[0]
 	for _, k := range platform.Kinds() {
 		k := k
 		b.Run(k.String(), func(b *testing.B) {
 			var ipc float64
 			for i := 0; i < b.N; i++ {
-				r, err := platform.Run(k, pair, o.Scale, o.Cfg)
+				r, err := platform.RunMix(k, mix, o.Scale, o.Cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

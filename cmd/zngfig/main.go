@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	zngfig -fig fig10 [-scale 2.0] [-pairs betw-back,pr-gaus] [-workers 8]
+//	zngfig -fig fig10 [-scale 2.0] [-mixes betw-back,pr-gaus] [-workers 8]
 //	zngfig -fig all -out out -format csv
 //	zngfig -fig docs -out docs
 //	zngfig -fig all [-v]
@@ -19,7 +19,7 @@
 // either, figures print as plain text tables.
 //
 // The figure drivers share a process-wide simulation memo: any (kind,
-// pair, scale, config) cell is simulated once per invocation no matter
+// mix, scale, config) cell is simulated once per invocation no matter
 // how many figures need it, which is what makes `-fig all` tractable
 // at full scale. -v reports per-figure wall-clock and the dedup ratio.
 package main
@@ -43,7 +43,7 @@ func main() {
 	var (
 		fig     = flag.String("fig", "all", "figure id to regenerate, or all, or docs")
 		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
-		pairsCS = flag.String("pairs", "", "comma-separated co-run pairs (default: all 12)")
+		mixesCS = flag.String("mixes", "", "comma-separated workload scenarios (default: the 12 paper pairs)")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
 		outDir  = flag.String("out", "", "write figures to this directory instead of stdout")
 		format  = flag.String("format", "", "rendering: md, csv or json (default: text to stdout, md with -out)")
@@ -70,14 +70,16 @@ func main() {
 		// `zngfig -fig docs` always reproduces the committed files;
 		// explicit flags still override for ad-hoc larger runs.
 		o := experiments.DocsOptions()
-		applyExplicitFlags(&o, *scale, *pairsCS, *workers)
+		applyExplicitFlags(&o, *scale, *mixesCS, *workers)
 		dir := *outDir
 		if dir == "" {
 			dir = "docs"
 			// Warn when an override would clobber the canonical
-			// committed docs with non-canonical content.
-			if canonical := experiments.DocsOptions(); o.Scale != canonical.Scale || len(o.Pairs) != len(canonical.Pairs) {
-				fmt.Fprintln(os.Stderr, "zngfig: warning: non-canonical -scale/-pairs writing into docs/; the CI freshness job will flag the drift (use -out DIR for ad-hoc runs)")
+			// committed docs with non-canonical content. The scenario
+			// vocabulary is much larger than the canonical 12-pair set,
+			// so compare the actual mix identities, not just the count.
+			if canonical := experiments.DocsOptions(); o.Scale != canonical.Scale || !sameMixes(o.Mixes, canonical.Mixes) {
+				fmt.Fprintln(os.Stderr, "zngfig: warning: non-canonical -scale/-mixes writing into docs/; the CI freshness job will flag the drift (use -out DIR for ad-hoc runs)")
 			}
 		}
 		start := time.Now()
@@ -99,7 +101,7 @@ func main() {
 	}
 
 	o := experiments.DefaultOptions()
-	applyExplicitFlags(&o, *scale, *pairsCS, *workers)
+	applyExplicitFlags(&o, *scale, *mixesCS, *workers)
 
 	ids := []string{*fig}
 	if *fig == "all" {
@@ -141,27 +143,41 @@ func main() {
 // applyExplicitFlags folds only the flags the user actually set into
 // o, so meta-targets with their own defaults (docs) are not clobbered
 // by flag package defaults.
-func applyExplicitFlags(o *experiments.Options, scale float64, pairsCS string, workers int) {
+func applyExplicitFlags(o *experiments.Options, scale float64, mixesCS string, workers int) {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "scale":
 			o.Scale = scale
 		case "workers":
 			o.Workers = workers
-		case "pairs":
-			if pairsCS == "" {
-				return // explicit -pairs "" keeps the default set
+		case "mixes":
+			if mixesCS == "" {
+				return // explicit -mixes "" keeps the default set
 			}
-			o.Pairs = nil
-			for _, name := range strings.Split(pairsCS, ",") {
-				p, err := workload.PairByName(strings.TrimSpace(name))
+			o.Mixes = nil
+			for _, name := range strings.Split(mixesCS, ",") {
+				m, err := workload.MixByName(strings.TrimSpace(name))
 				if err != nil {
 					fatal(err)
 				}
-				o.Pairs = append(o.Pairs, p)
+				o.Mixes = append(o.Mixes, m)
 			}
 		}
 	})
+}
+
+// sameMixes reports whether two scenario lists are identical in order,
+// names and composition.
+func sameMixes(a, b []workload.Mix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].ID() != b[i].ID() {
+			return false
+		}
+	}
+	return true
 }
 
 // emit runs one figure and delivers it: to stdout in text (default) or

@@ -1,11 +1,21 @@
-// Command zngsim runs one platform on one co-run workload and prints
+// Command zngsim runs one platform on one workload scenario and prints
 // the full measurement set — the low-level tool behind zngfig.
 //
 // Usage:
 //
-//	zngsim -platform ZnG -pair betw-back -scale 2.0
-//	zngsim -platform ZnG-base -pair betw-back -cpuprofile zng.prof
+//	zngsim -platform ZnG -mix betw-back -scale 2.0
+//	zngsim -platform ZnG -mix consol-4
+//	zngsim -apps bfs1,gaus,pr -platform HybridGPU
+//	zngsim -platform ZnG-base -mix betw-back -cpuprofile zng.prof
 //	zngsim -list
+//
+// -mix names a registered scenario (workload.Scenarios: the twelve
+// paper pairs, solo-<app> runs, consol-1..4 consolidation mixes,
+// read/write stress mixes and the new-family co-runs); -apps composes
+// an ad-hoc mix from a comma-separated application list instead, with
+// optional per-app weights ("oltp*2,bfs1"). -list prints both
+// vocabularies, derived from the same registries the flags resolve
+// against, so the help text can never drift from the code.
 //
 // -cpuprofile captures a pprof profile of the simulation itself; this
 // is the loop used to find the simulator's hot paths (the rand-seeding
@@ -18,6 +28,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"zng/internal/config"
 	"zng/internal/experiments"
@@ -27,21 +38,26 @@ import (
 
 func main() {
 	var (
-		plat    = flag.String("platform", "ZnG", "platform: Hetero, HybridGPU, Optane, ZnG-base, ZnG-rdopt, ZnG-wropt, ZnG, GDDR5")
-		pair    = flag.String("pair", "betw-back", "co-run workload pair")
+		plat    = flag.String("platform", "ZnG", "platform: "+strings.Join(platformNames(), ", "))
+		mixName = flag.String("mix", "betw-back", "workload scenario name (see -list)")
+		apps    = flag.String("apps", "", "ad-hoc mix: comma-separated applications, e.g. bfs1,gaus,pr (overrides -mix)")
 		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale")
-		list    = flag.Bool("list", false, "list platforms and pairs")
+		list    = flag.Bool("list", false, "list platforms, applications and scenarios")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("platforms: GDDR5", joinKinds())
-		fmt.Print("pairs:")
-		for _, p := range workload.Pairs() {
-			fmt.Print(" ", p.Name)
+		fmt.Println("platforms:", strings.Join(platformNames(), " "))
+		fmt.Print("apps:     ")
+		for _, s := range workload.AllSpecs() {
+			fmt.Print(" ", s.Name)
 		}
 		fmt.Println()
+		fmt.Println("scenarios:")
+		for _, m := range workload.Scenarios() {
+			fmt.Printf("  %-16s %s\n", m.Name, m.ID())
+		}
 		return
 	}
 
@@ -52,7 +68,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := workload.PairByName(*pair)
+	var mix workload.Mix
+	if *apps != "" {
+		mix, err = workload.ParseApps(*apps)
+	} else {
+		mix, err = workload.MixByName(*mixName)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -74,14 +95,14 @@ func main() {
 			f.Close()
 		}
 	}
-	r, err := platform.Run(kind, p, *scale, config.Default())
+	r, err := platform.RunMix(kind, mix, *scale, config.Default())
 	stopProfile()
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("platform:   %s\n", r.Kind)
-	fmt.Printf("workload:   %s (scale %.2f)\n", r.Pair, *scale)
+	fmt.Printf("workload:   %s = %s (scale %.2f)\n", r.Workload, mix.ID(), *scale)
 	fmt.Printf("IPC:        %.4f\n", r.IPC)
 	fmt.Printf("cycles:     %d (%.3f ms simulated)\n", r.Cycles, config.TicksToNs(r.Cycles)/1e6)
 	fmt.Printf("insts:      %d\n", r.Insts)
@@ -100,16 +121,18 @@ func main() {
 	}
 }
 
-func joinKinds() string {
-	s := ""
+// platformNames derives the -platform vocabulary from platform.Kinds,
+// so a new platform shows up here without touching this file.
+func platformNames() []string {
+	names := []string{platform.GDDR5.String()}
 	for _, k := range platform.Kinds() {
-		s += " " + k.String()
+		names = append(names, k.String())
 	}
-	return s
+	return names
 }
 
 func parseKind(s string) (platform.Kind, error) {
-	if s == "GDDR5" {
+	if s == platform.GDDR5.String() {
 		return platform.GDDR5, nil
 	}
 	for _, k := range platform.Kinds() {
@@ -117,7 +140,7 @@ func parseKind(s string) (platform.Kind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown platform %q", s)
+	return 0, fmt.Errorf("unknown platform %q (valid: %s)", s, strings.Join(platformNames(), ", "))
 }
 
 func fatal(err error) {

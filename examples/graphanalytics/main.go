@@ -19,19 +19,19 @@ import (
 func main() {
 	cfg := config.Default()
 	kinds := []platform.Kind{platform.Hetero, platform.HybridGPU, platform.Optane, platform.ZnG}
-	pairs := []string{"bfs1-gaus", "pr-gaus", "sssp3-gram"}
+	mixes := []string{"bfs1-gaus", "pr-gaus", "sssp3-gram"}
 	const scale = 0.25
 
 	t := stats.NewTable("Normalized IPC (ZnG = 1.0)",
 		"workload", "Hetero", "HybridGPU", "Optane", "ZnG")
-	for _, name := range pairs {
-		pair, err := workload.PairByName(name)
+	for _, name := range mixes {
+		mix, err := workload.MixByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ipc := map[platform.Kind]float64{}
 		for _, k := range kinds {
-			r, err := platform.Run(k, pair, scale, cfg)
+			r, err := platform.RunMix(k, mix, scale, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	cfg := config.Default() // Table I system configuration
-	pair, err := workload.PairByName("betw-back")
+	mix, err := workload.MixByName("betw-back")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,16 +24,16 @@ func main() {
 	// A modest trace scale keeps the example under a few seconds.
 	const scale = 0.25
 
-	zng, err := platform.Run(platform.ZnG, pair, scale, cfg)
+	zng, err := platform.RunMix(platform.ZnG, mix, scale, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hybrid, err := platform.Run(platform.HybridGPU, pair, scale, cfg)
+	hybrid, err := platform.RunMix(platform.HybridGPU, mix, scale, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("workload %s at scale %.2f\n\n", pair.Name, scale)
+	fmt.Printf("workload %s at scale %.2f\n\n", mix.Name, scale)
 	fmt.Printf("%-10s  %8s  %10s  %12s\n", "platform", "IPC", "L2 hit", "flash GB/s")
 	for _, r := range []platform.Result{hybrid, zng} {
 		fmt.Printf("%-10s  %8.4f  %10.3f  %12.2f\n",

@@ -9,20 +9,26 @@ import (
 )
 
 // The figure drivers overlap heavily: Fig. 10, Fig. 11 and Fig. 12 all
-// re-simulate ZnG-base on the same pairs, the sweeps re-run unchanged
-// baseline cells, and `zngfig -fig all` multiplies that again. A
-// simulation is a pure function of (kind, pair, scale, cfg) — the
-// engine is single-threaded and the traces are seed-deterministic —
-// so results are memoized process-wide: the full figure suite performs
-// each unique simulation exactly once, and repeated cells cost a map
-// lookup.
+// re-simulate ZnG-base on the same workloads, the sweeps re-run
+// unchanged baseline cells, and `zngfig -fig all` multiplies that
+// again. A simulation is a pure function of (kind, mix, scale, cfg) —
+// the engine is single-threaded and the traces are seed-deterministic
+// — so results are memoized process-wide: the full figure suite
+// performs each unique simulation exactly once, and repeated cells
+// cost a map lookup.
+//
+// The workload participates through workload.Mix.ID(), its canonical
+// content identity: a Mix carries a component slice and so cannot sit
+// in a comparable map key itself, and keying on the ID (rather than
+// the display name) lets scenarios that alias the same composition —
+// consol-2 and bfs1-gaus, say — share one simulation.
 //
 // config.Config is a flat value type (no slices, maps or pointers), so
 // the whole configuration participates in the key by value; any sweep
 // that perturbs a threshold gets its own cell.
 type runKey struct {
 	kind  platform.Kind
-	pair  workload.Pair
+	mix   string // workload.Mix.ID()
 	scale float64
 	cfg   config.Config
 }
@@ -44,25 +50,31 @@ var runCache = struct {
 	hits uint64 // requests served from memory (or by waiting on a flight)
 }{m: map[runKey]*runEntry{}}
 
-// cachedRun returns the memoized platform.Run result for one cell,
+// cachedRun returns the memoized platform.RunMix result for one cell,
 // simulating it on first request. Errors are cached too: a failed cell
 // (deadlock, event-cap overrun) is deterministic, so retrying it would
 // only waste the same wall-clock again.
-func cachedRun(kind platform.Kind, pair workload.Pair, scale float64, cfg config.Config) (platform.Result, error) {
-	key := runKey{kind: kind, pair: pair, scale: scale, cfg: cfg}
+func cachedRun(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	key := runKey{kind: kind, mix: mix.ID(), scale: scale, cfg: cfg}
 	runCache.mu.Lock()
 	if e, ok := runCache.m[key]; ok {
 		runCache.hits++
 		runCache.mu.Unlock()
 		<-e.done
-		return e.res, e.err
+		// Two scenario names may share one content ID; each caller gets
+		// the result labeled with the name it asked under.
+		res := e.res
+		if e.err == nil {
+			res.Workload = mix.Name
+		}
+		return res, e.err
 	}
 	e := &runEntry{done: make(chan struct{})}
 	runCache.m[key] = e
 	runCache.sims++
 	runCache.mu.Unlock()
 
-	e.res, e.err = platform.Run(kind, pair, scale, cfg)
+	e.res, e.err = platform.RunMix(kind, mix, scale, cfg)
 	close(e.done)
 	return e.res, e.err
 }

@@ -12,9 +12,9 @@ import (
 func TestCacheDedupsRepeatedMatrices(t *testing.T) {
 	o := TestOptions()
 	o.Scale = 0.013 // unique key-space for this test
-	o.Pairs = o.Pairs[:2]
+	o.Mixes = o.Mixes[:2]
 	kinds := []platform.Kind{platform.GDDR5, platform.Optane}
-	cells := uint64(len(kinds) * len(o.Pairs))
+	cells := uint64(len(kinds) * len(o.Mixes))
 
 	sims0, hits0 := CacheStats()
 	for run := 0; run < 2; run++ {
@@ -75,7 +75,7 @@ func TestMatrixStopsAfterFirstError(t *testing.T) {
 	o.Workers = 1   // serialize so the failure lands before most spawns
 	// Unknown kinds fail in build() before any simulation work.
 	kinds := []platform.Kind{platform.Kind(97), platform.Kind(98), platform.Kind(99)}
-	cells := uint64(len(kinds) * len(o.Pairs))
+	cells := uint64(len(kinds) * len(o.Mixes))
 
 	sims0, _ := CacheStats()
 	_, err := runMatrix(o, kinds)
@@ -92,7 +92,7 @@ func TestResetCache(t *testing.T) {
 	o := TestOptions()
 	o.Scale = 0.013 // same key-space as the dedup test: already memoized
 	sims0, hits0 := CacheStats()
-	if _, err := runOne(o, platform.GDDR5, o.Pairs[0].Name); err != nil {
+	if _, err := runOne(o, platform.GDDR5, o.Mixes[0].Name); err != nil {
 		t.Fatal(err)
 	}
 	sims, hits := CacheStats()
@@ -103,7 +103,7 @@ func TestResetCache(t *testing.T) {
 	if s, h := CacheStats(); s != 0 || h != 0 {
 		t.Errorf("stats after reset = (%d, %d), want (0, 0)", s, h)
 	}
-	if _, err := runOne(o, platform.GDDR5, o.Pairs[0].Name); err != nil {
+	if _, err := runOne(o, platform.GDDR5, o.Mixes[0].Name); err != nil {
 		t.Fatal(err)
 	}
 	if s, _ := CacheStats(); s != 1 {

@@ -28,7 +28,9 @@ type Options struct {
 	// tests and benchmarks use small fractions.
 	Scale float64
 	Cfg   config.Config
-	Pairs []workload.Pair
+	// Mixes lists the workload scenarios the per-workload figures
+	// iterate; the figure defaults use the twelve paper pairs.
+	Mixes []workload.Mix
 	// Workers bounds simulation parallelism (0 = NumCPU). Individual
 	// simulations stay single-threaded and deterministic.
 	Workers int
@@ -39,7 +41,7 @@ const DefaultScale = 2.0
 
 // DefaultOptions returns full-fidelity settings.
 func DefaultOptions() Options {
-	return Options{Scale: DefaultScale, Cfg: config.Default(), Pairs: workload.Pairs()}
+	return Options{Scale: DefaultScale, Cfg: config.Default(), Mixes: workload.PaperPairs()}
 }
 
 // TestOptions returns a fast, scaled-down variant for tests and
@@ -52,7 +54,7 @@ func TestOptions() Options {
 	o.Cfg.GPU.SMs = 8
 	o.Cfg.L2SRAM.Sets /= 8
 	o.Cfg.L2STT.Sets /= 8
-	o.Pairs = workload.Pairs()[:3]
+	o.Mixes = workload.PaperPairs()[:3]
 	return o
 }
 
@@ -65,11 +67,11 @@ func (o Options) workers() int {
 
 type cell struct {
 	kind platform.Kind
-	pair workload.Pair
+	mix  workload.Mix
 }
 
-// runMatrix simulates every (kind, pair) combination in parallel and
-// returns results keyed by kind and pair name. Cells go through the
+// runMatrix simulates every (kind, mix) combination in parallel and
+// returns results keyed by kind and mix name. Cells go through the
 // process-wide memo (cache.go), so a cell another figure already
 // simulated is free and concurrent duplicates coalesce. On the first
 // failing cell the matrix stops spawning new work: already-running
@@ -79,8 +81,8 @@ type cell struct {
 func runMatrix(o Options, kinds []platform.Kind) (map[platform.Kind]map[string]platform.Result, error) {
 	var cells []cell
 	for _, k := range kinds {
-		for _, p := range o.Pairs {
-			cells = append(cells, cell{k, p})
+		for _, m := range o.Mixes {
+			cells = append(cells, cell{k, m})
 		}
 	}
 	out := make(map[platform.Kind]map[string]platform.Result)
@@ -116,28 +118,29 @@ spawn:
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			r, err := cachedRun(c.kind, c.pair, o.Scale, o.Cfg)
+			r, err := cachedRun(c.kind, c.mix, o.Scale, o.Cfg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("%v on %s: %w", c.kind, c.pair.Name, err)
+					firstErr = fmt.Errorf("%v on %s: %w", c.kind, c.mix.Name, err)
 					close(failed)
 				}
 				return
 			}
-			out[c.kind][c.pair.Name] = r
+			out[c.kind][c.mix.Name] = r
 		}()
 	}
 	wg.Wait()
 	return out, firstErr
 }
 
-// runOne simulates a single combination (memoized like matrix cells).
-func runOne(o Options, k platform.Kind, pairName string) (platform.Result, error) {
-	p, err := workload.PairByName(pairName)
+// runOne simulates a single registered scenario (memoized like matrix
+// cells).
+func runOne(o Options, k platform.Kind, mixName string) (platform.Result, error) {
+	m, err := workload.MixByName(mixName)
 	if err != nil {
 		return platform.Result{}, err
 	}
-	return cachedRun(k, p, o.Scale, o.Cfg)
+	return cachedRun(k, m, o.Scale, o.Cfg)
 }

@@ -116,7 +116,7 @@ func TestFig4dEngineDominates(t *testing.T) {
 
 func TestFig5bcdAverages(t *testing.T) {
 	o := TestOptions()
-	o.Pairs = o.Pairs[:2]
+	o.Mixes = o.Mixes[:2]
 	tab, err := Fig5bcd(o)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestFig5bcdAverages(t *testing.T) {
 
 func TestFig5aDegradationLarge(t *testing.T) {
 	o := TestOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	_, deg, err := Fig5a(o)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestFig8bHeatmapAsymmetry(t *testing.T) {
 
 func TestFig10SmallMatrix(t *testing.T) {
 	o := TestOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	tab, res, err := Fig10(o)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +176,7 @@ func TestFig10SmallMatrix(t *testing.T) {
 	if tab.Rows() != 2 { // 1 pair + average
 		t.Fatalf("rows = %d", tab.Rows())
 	}
-	pair := o.Pairs[0].Name
+	pair := o.Mixes[0].Name
 	zng := res[platform.ZnG][pair].IPC
 	if res[platform.HybridGPU][pair].IPC >= zng {
 		t.Error("ZnG must beat HybridGPU")
@@ -188,14 +188,73 @@ func TestFig10SmallMatrix(t *testing.T) {
 
 func TestFig11ZnGWins(t *testing.T) {
 	o := TestOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	_, res, err := Fig11(o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pair := o.Pairs[0].Name
+	pair := o.Mixes[0].Name
 	if res[platform.ZnG][pair].FlashArrayGBps() <= res[platform.HybridGPU][pair].FlashArrayGBps() {
 		t.Error("ZnG flash bandwidth must exceed HybridGPU's")
+	}
+}
+
+func TestAblationConsolidation(t *testing.T) {
+	o := TestOptions()
+	tab, ipc, err := AblationConsolidation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d, want degrees 1-4", tab.Rows())
+	}
+	for _, k := range []platform.Kind{platform.HybridGPU, platform.ZnG} {
+		if len(ipc[k]) != 4 {
+			t.Fatalf("%v: %d degrees measured", k, len(ipc[k]))
+		}
+		for d, v := range ipc[k] {
+			if v <= 0 {
+				t.Errorf("%v degree %d: IPC %v", k, d+1, v)
+			}
+		}
+	}
+	// The ablation's claim: ZnG retains at least as much of its solo
+	// IPC under 4-way consolidation as HybridGPU does.
+	zng := ipc[platform.ZnG][3] / ipc[platform.ZnG][0]
+	hyb := ipc[platform.HybridGPU][3] / ipc[platform.HybridGPU][0]
+	if zng < hyb {
+		t.Errorf("ZnG retained %.3f of solo IPC vs HybridGPU %.3f; want ZnG to degrade at least as gracefully", zng, hyb)
+	}
+	if err := checkAblConsolidation(tab); err != nil {
+		t.Errorf("shape check: %v", err)
+	}
+}
+
+// TestMixAliasesShareSimulations pins the memo's content keying:
+// consol-2 and the paper pair bfs1-gaus have different names but the
+// same canonical ID, so the second request must be a pure cache hit —
+// and still come back labeled with the name it was asked under.
+func TestMixAliasesShareSimulations(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.023 // unique key-space for this test
+	sims0, _ := CacheStats()
+	r1, err := runOne(o, platform.ZnG, "bfs1-gaus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := runOne(o, platform.ZnG, "consol-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, _ := CacheStats()
+	if got := sims - sims0; got != 1 {
+		t.Errorf("aliasing scenarios performed %d simulations, want 1", got)
+	}
+	if r1.IPC != r2.IPC || r1.Cycles != r2.Cycles {
+		t.Errorf("aliased results differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Workload != "bfs1-gaus" || r2.Workload != "consol-2" {
+		t.Errorf("labels not preserved: %q / %q", r1.Workload, r2.Workload)
 	}
 }
 

@@ -19,15 +19,15 @@ func Fig5a(o Options) (*stats.Table, map[string]float64, error) {
 	t := stats.NewTable("Fig. 5a: performance degradation of direct Z-NAND vs GDDR5",
 		"workload", "GDDR5 IPC", "direct Z-NAND IPC", "degradation (x)")
 	deg := map[string]float64{}
-	for _, p := range o.Pairs {
-		g := res[platform.GDDR5][p.Name]
-		z := res[platform.ZnGBase][p.Name]
+	for _, m := range o.Mixes {
+		g := res[platform.GDDR5][m.Name]
+		z := res[platform.ZnGBase][m.Name]
 		d := 0.0
 		if z.IPC > 0 {
 			d = g.IPC / z.IPC
 		}
-		deg[p.Name] = d
-		t.AddRow(p.Name, g.IPC, z.IPC, d)
+		deg[m.Name] = d
+		t.AddRow(m.Name, g.IPC, z.IPC, d)
 	}
 	return t, deg, nil
 }
@@ -39,18 +39,18 @@ func Fig5bcd(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Fig. 5b-d: workload locality characterization",
 		"workload", "read re-accesses", "write redundancy", "read %", "write %")
 	var reuse, redund float64
-	for _, p := range o.Pairs {
-		a, b, err := p.Apps(o.Scale)
+	for _, m := range o.Mixes {
+		apps, err := m.Apps(o.Scale)
 		if err != nil {
 			return nil, err
 		}
-		st := workload.CharacterizePair(a, b)
-		t.AddRow(p.Name, st.ReadReuse(), st.WriteRedundancy(),
+		st := workload.Characterize(apps...)
+		t.AddRow(m.Name, st.ReadReuse(), st.WriteRedundancy(),
 			100*st.ReadRatio(), 100*(1-st.ReadRatio()))
 		reuse += st.ReadReuse()
 		redund += st.WriteRedundancy()
 	}
-	n := float64(len(o.Pairs))
+	n := float64(len(o.Mixes))
 	t.AddRow("AVERAGE", reuse/n, redund/n, "", "")
 	return t, nil
 }
@@ -108,13 +108,13 @@ func Fig10(o Options) (*stats.Table, map[platform.Kind]map[string]platform.Resul
 	t := stats.NewTable("Fig. 10: normalized IPC (ZnG = 1.0)",
 		"workload", "Hetero", "HybridGPU", "Optane", "ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG")
 	sums := map[platform.Kind]float64{}
-	for _, p := range o.Pairs {
-		ref := res[platform.ZnG][p.Name].IPC
-		row := []any{p.Name}
+	for _, m := range o.Mixes {
+		ref := res[platform.ZnG][m.Name].IPC
+		row := []any{m.Name}
 		for _, k := range platform.Kinds() {
 			v := 0.0
 			if ref > 0 {
-				v = res[k][p.Name].IPC / ref
+				v = res[k][m.Name].IPC / ref
 			}
 			sums[k] += v
 			row = append(row, v)
@@ -123,7 +123,7 @@ func Fig10(o Options) (*stats.Table, map[platform.Kind]map[string]platform.Resul
 	}
 	avg := []any{"AVERAGE"}
 	for _, k := range platform.Kinds() {
-		avg = append(avg, sums[k]/float64(len(o.Pairs)))
+		avg = append(avg, sums[k]/float64(len(o.Mixes)))
 	}
 	t.AddRow(avg...)
 	return t, res, nil
@@ -140,10 +140,10 @@ func Fig11(o Options) (*stats.Table, map[platform.Kind]map[string]platform.Resul
 	t := stats.NewTable("Fig. 11: flash array bandwidth (GB/s)",
 		"workload", "HybridGPU", "ZnG-base", "ZnG-rdopt", "ZnG-wropt", "ZnG")
 	sums := map[platform.Kind]float64{}
-	for _, p := range o.Pairs {
-		row := []any{p.Name}
+	for _, m := range o.Mixes {
+		row := []any{m.Name}
 		for _, k := range kinds {
-			bw := res[k][p.Name].FlashArrayGBps()
+			bw := res[k][m.Name].FlashArrayGBps()
 			sums[k] += bw
 			row = append(row, bw)
 		}
@@ -151,7 +151,7 @@ func Fig11(o Options) (*stats.Table, map[platform.Kind]map[string]platform.Resul
 	}
 	avg := []any{"AVERAGE"}
 	for _, k := range kinds {
-		avg = append(avg, sums[k]/float64(len(o.Pairs)))
+		avg = append(avg, sums[k]/float64(len(o.Mixes)))
 	}
 	t.AddRow(avg...)
 	return t, res, nil
@@ -167,10 +167,10 @@ func Fig12(o Options) (*stats.Table, error) {
 	}
 	t := stats.NewTable("Fig. 12: read-path effectiveness (base vs rdopt)",
 		"workload", "L2 hit (base)", "L2 hit (rdopt)", "prefetch KB (rdopt)", "array fills (base)", "array fills (rdopt)")
-	for _, p := range o.Pairs {
-		b := res[platform.ZnGBase][p.Name]
-		r := res[platform.ZnGRdopt][p.Name]
-		t.AddRow(p.Name, b.L2HitRate, r.L2HitRate,
+	for _, m := range o.Mixes {
+		b := res[platform.ZnGBase][m.Name]
+		r := res[platform.ZnGRdopt][m.Name]
+		t.AddRow(m.Name, b.L2HitRate, r.L2HitRate,
 			r.Extra["prefetch_bytes"]/1024, b.Extra["demand_fills"], r.Extra["demand_fills"])
 	}
 	return t, nil

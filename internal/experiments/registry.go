@@ -51,7 +51,7 @@ type Figure struct {
 // docs-freshness job.
 func DocsOptions() Options {
 	o := TestOptions()
-	o.Pairs = workload.Pairs()
+	o.Mixes = workload.PaperPairs()
 	return o
 }
 
@@ -192,6 +192,17 @@ func Registry() []Figure {
 				return t, err
 			},
 			Check: checkAblWriteNet,
+		},
+		{
+			ID: "abl-consolidation", Ref: "ablation (beyond Sec. V-A's 2-app co-runs)", Title: "Consolidation sweep",
+			Driver: "AblationConsolidation",
+			Claim:  "The paper evaluates 2-app co-runs only; stacking more tenants should favor ZnG, whose flash arrays serve requests directly, over HybridGPU, whose SSD engine serializes every miss.",
+			Shape:  "Both platforms sustain positive IPC at every co-run degree 1-4, and ZnG retains at least as much of its solo IPC as HybridGPU does at the highest degree.",
+			Run: func(o Options) (*stats.Table, error) {
+				t, _, err := AblationConsolidation(o)
+				return t, err
+			},
+			Check: checkAblConsolidation,
 		},
 		{
 			ID: "abl-gc", Ref: "ablation (Sec. III-B/IV-A)", Title: "Split-FTL garbage collection",
@@ -715,6 +726,53 @@ func checkAblWriteNet(t *stats.Table) error {
 				return fmt.Errorf("%s: %s IPC %v, want positive", cellStr(t, r, 0), net, v)
 			}
 		}
+	}
+	return nil
+}
+
+func checkAblConsolidation(t *stats.Table) error {
+	if t.Rows() != workload.ConsolidationDegrees {
+		return fmt.Errorf("rows = %d, want co-run degrees 1-%d", t.Rows(), workload.ConsolidationDegrees)
+	}
+	hybCol, err := colByName(t, "HybridGPU")
+	if err != nil {
+		return err
+	}
+	zngCol, err := colByName(t, "ZnG")
+	if err != nil {
+		return err
+	}
+	hybNormCol, err := colByName(t, "HybridGPU (vs solo)")
+	if err != nil {
+		return err
+	}
+	zngNormCol, err := colByName(t, "ZnG (vs solo)")
+	if err != nil {
+		return err
+	}
+	for r := 0; r < t.Rows(); r++ {
+		for _, c := range []int{hybCol, zngCol} {
+			v, err := cellFloat(t, r, c)
+			if err != nil {
+				return err
+			}
+			if v <= 0 {
+				return fmt.Errorf("%s: IPC %v, want positive", cellStr(t, r, 0), v)
+			}
+		}
+	}
+	last := t.Rows() - 1
+	hybNorm, err := cellFloat(t, last, hybNormCol)
+	if err != nil {
+		return err
+	}
+	zngNorm, err := cellFloat(t, last, zngNormCol)
+	if err != nil {
+		return err
+	}
+	if zngNorm < hybNorm {
+		return fmt.Errorf("at degree %d ZnG retains %.3f of solo IPC vs HybridGPU's %.3f: ZnG must degrade at least as gracefully",
+			t.Rows(), zngNorm, hybNorm)
 	}
 	return nil
 }

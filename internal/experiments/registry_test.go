@@ -116,8 +116,8 @@ func TestFigureByID(t *testing.T) {
 
 func TestDocsOptions(t *testing.T) {
 	o := DocsOptions()
-	if len(o.Pairs) != 12 {
-		t.Errorf("docs runs must cover all 12 pairs, got %d", len(o.Pairs))
+	if len(o.Mixes) != 12 {
+		t.Errorf("docs runs must cover all 12 pairs, got %d", len(o.Mixes))
 	}
 	te := TestOptions()
 	if o.Scale != te.Scale || o.Cfg != te.Cfg {

@@ -12,7 +12,7 @@ import (
 // harness fans out).
 func TestMatrixMatchesSerialRuns(t *testing.T) {
 	o := TestOptions()
-	o.Pairs = o.Pairs[:2]
+	o.Mixes = o.Mixes[:2]
 	o.Workers = 4
 	kinds := []platform.Kind{platform.Optane, platform.ZnG}
 	res, err := runMatrix(o, kinds)
@@ -20,7 +20,7 @@ func TestMatrixMatchesSerialRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range kinds {
-		for _, p := range o.Pairs {
+		for _, p := range o.Mixes {
 			serial, err := runOne(o, k, p.Name)
 			if err != nil {
 				t.Fatal(err)
@@ -42,7 +42,7 @@ func TestRunOneUnknownPair(t *testing.T) {
 
 func TestDefaultOptions(t *testing.T) {
 	o := DefaultOptions()
-	if o.Scale != DefaultScale || len(o.Pairs) != 12 {
+	if o.Scale != DefaultScale || len(o.Mixes) != 12 {
 		t.Errorf("defaults: %+v", o)
 	}
 	if o.workers() < 1 {

@@ -9,6 +9,7 @@ import (
 	"zng/internal/platform"
 	"zng/internal/sim"
 	"zng/internal/stats"
+	"zng/internal/workload"
 )
 
 // Fig13Sweep reproduces the Section V-D sensitivity study: sweep the
@@ -66,6 +67,47 @@ func AblationWriteNet(o Options) (*stats.Table, map[config.RegCacheNet]float64, 
 		t.AddRow(row...)
 	}
 	return t, avg, nil
+}
+
+// AblationConsolidation sweeps the co-run degree of the consolidation
+// scenarios (consol-1 … consol-4): ZnG versus HybridGPU aggregate IPC
+// as one, two, three and four applications share the GPU, each IPC
+// also normalized to that platform's solo run. The paper evaluates
+// only 2-app co-runs; this ablation extends the axis the scenario
+// subsystem opens up and quantifies how much more gracefully ZnG's
+// direct flash path absorbs consolidation than HybridGPU's
+// engine-throttled one.
+func AblationConsolidation(o Options) (*stats.Table, map[platform.Kind][]float64, error) {
+	kinds := []platform.Kind{platform.HybridGPU, platform.ZnG}
+	t := stats.NewTable("Ablation D: consolidation sweep (aggregate IPC vs co-run degree)",
+		"mix", "degree", "HybridGPU", "ZnG", "HybridGPU (vs solo)", "ZnG (vs solo)")
+	// Fan the 2x4 cells out through the matrix runner like every other
+	// multi-cell driver, rather than simulating them serially.
+	oo := o
+	oo.Mixes = nil
+	for d := 1; d <= workload.ConsolidationDegrees; d++ {
+		m, err := workload.ConsolidationMix(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		oo.Mixes = append(oo.Mixes, m)
+	}
+	res, err := runMatrix(oo, kinds)
+	if err != nil {
+		return nil, nil, err
+	}
+	ipc := map[platform.Kind][]float64{}
+	for _, m := range oo.Mixes {
+		for _, k := range kinds {
+			ipc[k] = append(ipc[k], res[k][m.Name].IPC)
+		}
+	}
+	for d, m := range oo.Mixes {
+		hyb, zng := ipc[platform.HybridGPU][d], ipc[platform.ZnG][d]
+		t.AddRow(m.Name, d+1, hyb, zng,
+			hyb/ipc[platform.HybridGPU][0], zng/ipc[platform.ZnG][0])
+	}
+	return t, ipc, nil
 }
 
 // GCStats summarizes the garbage-collection ablation.

@@ -12,11 +12,11 @@ import (
 func TestHeteroEvictionUnderMemoryPressure(t *testing.T) {
 	cfg := testCfg()
 	cfg.Host.GPUMemPages = 64 // far below any working set
-	pair, err := workload.PairByName("betw-back")
+	pair, err := workload.MixByName("betw-back")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Run(Hetero, pair, 0.05, cfg)
+	r, err := RunMix(Hetero, pair, 0.05, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,18 +37,18 @@ func TestHeteroEvictionUnderMemoryPressure(t *testing.T) {
 // performance (the capacity cliff the paper's Hetero platform lives
 // on).
 func TestHeteroThrashingIsSlower(t *testing.T) {
-	pair, err := workload.PairByName("betw-back")
+	pair, err := workload.MixByName("betw-back")
 	if err != nil {
 		t.Fatal(err)
 	}
 	big := testCfg()
 	small := testCfg()
 	small.Host.GPUMemPages = 64
-	rBig, err := Run(Hetero, pair, 0.05, big)
+	rBig, err := RunMix(Hetero, pair, 0.05, big)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSmall, err := Run(Hetero, pair, 0.05, small)
+	rSmall, err := RunMix(Hetero, pair, 0.05, small)
 	if err != nil {
 		t.Fatal(err)
 	}

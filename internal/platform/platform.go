@@ -73,11 +73,11 @@ func (k Kind) String() string {
 
 // Result summarizes one simulation.
 type Result struct {
-	Kind   Kind
-	Pair   string
-	IPC    float64
-	Cycles sim.Tick
-	Insts  uint64
+	Kind     Kind
+	Workload string // mix name (or ad-hoc label) the platform ran
+	IPC      float64
+	Cycles   sim.Tick
+	Insts    uint64
 
 	// Flash-array traffic (Fig. 11); zero for DRAM platforms.
 	FlashReadGBps  float64
@@ -98,18 +98,24 @@ func (r Result) FlashArrayGBps() float64 { return r.FlashReadGBps + r.FlashWrite
 // runaway configuration, which is a bug worth failing loudly on.
 const maxEvents = 600_000_000
 
-// Run simulates one platform on one co-run pair at the given trace
-// scale and returns its measurements.
-func Run(kind Kind, pair workload.Pair, scale float64, cfg config.Config) (Result, error) {
-	a, b, err := pair.Apps(scale)
+// RunMix simulates one platform on one workload mix at the given trace
+// scale and returns its measurements. Any registered scenario or
+// ad-hoc composition runs through here; co-resident apps split the SMs
+// evenly, each in its own address space.
+func RunMix(kind Kind, mix workload.Mix, scale float64, cfg config.Config) (Result, error) {
+	apps, err := mix.Apps(scale)
 	if err != nil {
 		return Result{}, err
 	}
-	return RunApps(kind, pair.Name, []*workload.App{a, b}, cfg)
+	return RunApps(kind, mix.Name, apps, cfg)
 }
 
 // RunApps simulates one platform running the given already-built apps.
 func RunApps(kind Kind, label string, apps []*workload.App, cfg config.Config) (Result, error) {
+	if len(apps) > cfg.GPU.SMs {
+		return Result{}, fmt.Errorf("platform: %d co-resident apps exceed the %d SMs (each app needs at least one SM partition)",
+			len(apps), cfg.GPU.SMs)
+	}
 	eng := sim.NewEngine()
 	sys, err := build(eng, kind, cfg)
 	if err != nil {
@@ -159,7 +165,7 @@ func build(eng *sim.Engine, kind Kind, cfg config.Config) (*system, error) {
 func (s *system) collect(kind Kind, label string) Result {
 	r := Result{
 		Kind:       kind,
-		Pair:       label,
+		Workload:   label,
 		IPC:        s.gpu.IPC(),
 		Cycles:     s.gpu.Cycles(),
 		Insts:      s.gpu.Insts.Value(),

@@ -19,13 +19,13 @@ func testCfg() config.Config {
 	return c
 }
 
-func testPair(t *testing.T) workload.Pair {
+func testMix(t *testing.T) workload.Mix {
 	t.Helper()
-	p, err := workload.PairByName("betw-back")
+	m, err := workload.MixByName("betw-back")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return m
 }
 
 // testScale must be large enough that per-warp streams exercise the
@@ -35,7 +35,7 @@ const testScale = 0.25
 
 func runOne(t *testing.T, k Kind) Result {
 	t.Helper()
-	r, err := Run(k, testPair(t), testScale, testCfg())
+	r, err := RunMix(k, testMix(t), testScale, testCfg())
 	if err != nil {
 		t.Fatalf("%v: %v", k, err)
 	}
@@ -167,6 +167,33 @@ func TestPlaneWritesRecorded(t *testing.T) {
 	mean := float64(total) / float64(len(r.PlaneWrites))
 	if float64(max) < 1.5*mean {
 		t.Logf("write asymmetry mild: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestRunMixHigherDegrees(t *testing.T) {
+	// The scenario subsystem's contract: solo and degree-4 mixes run on
+	// the same entry point as the paper pairs.
+	for _, name := range []string{"solo-bfs1", "consol-4", "oltp-bfs1"} {
+		m, err := workload.MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunMix(ZnG, m, 0.1, testCfg())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.IPC <= 0 || r.Workload != name {
+			t.Errorf("%s: IPC=%v workload=%q", name, r.IPC, r.Workload)
+		}
+	}
+}
+
+func TestRunMixTooManyApps(t *testing.T) {
+	cfg := testCfg()
+	cfg.GPU.SMs = 2
+	m := workload.NewMix("over", "bfs1", "gaus", "pr")
+	if _, err := RunMix(ZnG, m, 0.05, cfg); err == nil {
+		t.Error("want error when apps exceed SMs")
 	}
 }
 

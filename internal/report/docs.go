@@ -88,15 +88,15 @@ shape this codebase asserts about its own measurement, the shape
 check's verdict, and the measured series. Simulated figures ran at
 trace scale %s under the docs regime (%d SMs, L2s scaled down with the
 traces so cache pressure stays realistic — see
-`+"`experiments.DocsOptions`"+`) over %d co-run pairs; scale-free figures
-derive from the Table I configuration alone. Absolute numbers are not
-comparable to the authors' MacSim testbed — the substrate is a
+`+"`experiments.DocsOptions`"+`) over %d co-run workloads; scale-free
+figures derive from the Table I configuration alone. Absolute numbers
+are not comparable to the authors' MacSim testbed — the substrate is a
 from-scratch simulator with synthetic traces — the shapes are the
 reproduction target.
 
 Shape checks passing: **%d of %d**.
 
-`, stats.FormatFloat(o.Scale), o.Cfg.GPU.SMs, len(o.Pairs), ds.Passed, ds.Checked)
+`, stats.FormatFloat(o.Scale), o.Cfg.GPU.SMs, len(o.Mixes), ds.Passed, ds.Checked)
 
 	b.WriteString("## Summary\n\n")
 	sum := stats.NewTable("", "id", "paper ref", "shape check", "claim")

@@ -13,7 +13,7 @@ import (
 // docs-freshness job.
 func docTestOptions() experiments.Options {
 	o := experiments.TestOptions()
-	o.Pairs = o.Pairs[:1]
+	o.Mixes = o.Mixes[:1]
 	return o
 }
 

@@ -38,30 +38,35 @@ func (s Stats) WriteRedundancy() float64 {
 	return float64(s.WriteSectors) / float64(s.WritePages)
 }
 
-// Characterize streams an entire application trace and accumulates its
-// statistics. It is used by the Fig. 5 experiment driver and the
-// calibration tests.
-func Characterize(a *App) Stats {
+// Characterize streams the entire trace of every given application
+// and accumulates the merged statistics — for one app it is the
+// calibration measurement, for a whole mix it is the unit Fig. 5a-c
+// plots. Apps occupy disjoint address spaces, so the page sets never
+// collide across components. It is used by the Fig. 5 experiment
+// driver and the calibration tests.
+func Characterize(apps ...*App) Stats {
 	var st Stats
 	readPages := make(map[uint64]struct{})
 	writePages := make(map[uint64]struct{})
-	for k := 0; k < a.Kernels(); k++ {
-		for w := 0; w < a.Warps(); w++ {
-			s := a.Stream(k, w)
-			for {
-				inst, ok := s.Next()
-				if !ok {
-					break
-				}
-				st.MemInsts++
-				for _, acc := range inst.Acc {
-					page := acc.Addr / PageBytes
-					if acc.Write {
-						st.WriteSectors++
-						writePages[page] = struct{}{}
-					} else {
-						st.ReadSectors++
-						readPages[page] = struct{}{}
+	for _, a := range apps {
+		for k := 0; k < a.Kernels(); k++ {
+			for w := 0; w < a.Warps(); w++ {
+				s := a.Stream(k, w)
+				for {
+					inst, ok := s.Next()
+					if !ok {
+						break
+					}
+					st.MemInsts++
+					for _, acc := range inst.Acc {
+						page := acc.Addr / PageBytes
+						if acc.Write {
+							st.WriteSectors++
+							writePages[page] = struct{}{}
+						} else {
+							st.ReadSectors++
+							readPages[page] = struct{}{}
+						}
 					}
 				}
 			}
@@ -70,17 +75,4 @@ func Characterize(a *App) Stats {
 	st.ReadPages = len(readPages)
 	st.WritePages = len(writePages)
 	return st
-}
-
-// CharacterizePair merges the statistics of a co-run pair, the unit
-// Fig. 5a-c plots.
-func CharacterizePair(a, b *App) Stats {
-	sa, sb := Characterize(a), Characterize(b)
-	return Stats{
-		MemInsts:     sa.MemInsts + sb.MemInsts,
-		ReadSectors:  sa.ReadSectors + sb.ReadSectors,
-		WriteSectors: sa.WriteSectors + sb.WriteSectors,
-		ReadPages:    sa.ReadPages + sb.ReadPages,
-		WritePages:   sa.WritePages + sb.WritePages,
-	}
 }

@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Specs transcribes Table II (read ratio, kernel count) and attaches
 // the locality calibration derived from Fig. 5: per-application read
@@ -31,63 +34,56 @@ func Specs() []Spec {
 	}
 }
 
-// SpecByName returns the Table II spec with the given name.
+// FamilySpecs lists the applications beyond Table II that the scenario
+// subsystem adds: the two new generator families (frontier traversal
+// and OLTP transaction stream, calibrated against the FlashGraph and
+// GPU-OLTP related work rather than Table II) and the pure read/write
+// stress generators behind the stress mixes.
+func FamilySpecs() []Spec {
+	return []Spec{
+		// fbfs: frontier-phase BFS traversal. Read ratio and locality
+		// sit in the band of the Table II BFS family; what changes is
+		// the shape — random reads sweep an expanding/contracting
+		// frontier window per kernel instead of one stationary pool.
+		{Name: "fbfs", Suite: "graph", Family: FamilyFrontier, ReadRatio: 0.94, Kernels: 12, WarpsPerKernel: 96, MemInstBudget: 60000, ReadReuse: 30, WriteRedund: 75, SeqFrac: 0.30, RandSectors: 4, ALUMean: 6, Seed: 201},
+		// oltp: small read-modify-write transactions — three
+		// single-sector row reads then one scattered row update
+		// (ReadRatio 0.75 = 3/(3+1) exactly, by construction). Low
+		// re-use and low redundancy relative to the graph suite: the
+		// working set is hot rows, not whole revisited pages.
+		{Name: "oltp", Suite: "tx", Family: FamilyOLTP, ReadRatio: 0.75, Kernels: 4, WarpsPerKernel: 96, MemInstBudget: 50000, ReadReuse: 12, WriteRedund: 8, SeqFrac: 0, RandSectors: 1, ALUMean: 10, Seed: 202},
+		// rdstress / wrstress: single-sided generators for the
+		// read-only and write-only stress mixes.
+		{Name: "rdstress", Suite: "stress", ReadRatio: 1.00, Kernels: 2, WarpsPerKernel: 128, MemInstBudget: 50000, ReadReuse: 20, WriteRedund: 1, SeqFrac: 0.50, RandSectors: 4, ALUMean: 4, Seed: 203},
+		{Name: "wrstress", Suite: "stress", ReadRatio: 0.00, Kernels: 2, WarpsPerKernel: 128, MemInstBudget: 40000, ReadReuse: 1, WriteRedund: 40, SeqFrac: 0, RandSectors: 1, ALUMean: 4, Seed: 204},
+	}
+}
+
+// AllSpecs returns every runnable application: the sixteen Table II
+// apps followed by the scenario-subsystem families.
+func AllSpecs() []Spec {
+	return append(Specs(), FamilySpecs()...)
+}
+
+// specIndex builds the name lookup exactly once; both spec slices are
+// static, so the map never invalidates.
+var specIndex = sync.OnceValue(func() map[string]Spec {
+	m := make(map[string]Spec)
+	for _, s := range AllSpecs() {
+		if _, dup := m[s.Name]; dup {
+			panic(fmt.Sprintf("workload: duplicate spec name %q", s.Name))
+		}
+		m[s.Name] = s
+	}
+	return m
+})
+
+// SpecByName returns the application spec with the given name, looking
+// across Table II and the scenario families.
 func SpecByName(name string) (Spec, error) {
-	for _, s := range Specs() {
-		if s.Name == name {
-			return s, nil
-		}
+	s, ok := specIndex()[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown application %q", name)
 	}
-	return Spec{}, fmt.Errorf("workload: unknown application %q", name)
-}
-
-// Pair is one multi-application workload: a read-intensive graph
-// application co-run with a write-intensive scientific kernel
-// (Section V-A).
-type Pair struct {
-	Name string
-	A, B string // Table II application names
-}
-
-// Pairs returns the twelve co-run workloads of Figures 5, 10 and 11,
-// in the paper's x-axis order.
-func Pairs() []Pair {
-	return []Pair{
-		{"betw-back", "betw", "back"},
-		{"bfs1-gaus", "bfs1", "gaus"},
-		{"gc1-FDT", "gc1", "FDT"},
-		{"gc2-FDT", "gc2", "FDT"},
-		{"sssp3-gram", "sssp3", "gram"},
-		{"bfs2-gaus", "bfs2", "gaus"},
-		{"bfs3-FDT", "bfs3", "FDT"},
-		{"bfs4-back", "bfs4", "back"},
-		{"bfs5-back", "bfs5", "back"},
-		{"bfs6-gaus", "bfs6", "gaus"},
-		{"deg-gram", "deg", "gram"},
-		{"pr-gaus", "pr", "gaus"},
-	}
-}
-
-// PairByName returns the co-run pair with the given name.
-func PairByName(name string) (Pair, error) {
-	for _, p := range Pairs() {
-		if p.Name == name {
-			return p, nil
-		}
-	}
-	return Pair{}, fmt.Errorf("workload: unknown pair %q", name)
-}
-
-// Apps instantiates both applications of a pair at the given scale.
-// The first app gets address-space index 0, the second index 1.
-func (p Pair) Apps(scale float64) (*App, *App, error) {
-	sa, err := SpecByName(p.A)
-	if err != nil {
-		return nil, nil, err
-	}
-	sb, err := SpecByName(p.B)
-	if err != nil {
-		return nil, nil, err
-	}
-	return NewApp(sa, scale, 0), NewApp(sb, scale, 1), nil
+	return s, nil
 }

@@ -1,8 +1,11 @@
 // Package workload generates the GPU memory traces the ZnG evaluation
-// runs: the sixteen applications of Table II (graph analysis from
-// GraphBIG-style suites plus scientific kernels) and the twelve
-// read-intensive + write-intensive co-run pairs of Figures 5, 10 and
-// 11.
+// runs, organized as a scenario subsystem: the sixteen applications of
+// Table II (graph analysis from GraphBIG-style suites plus scientific
+// kernels), two additional generator families (a frontier-phase
+// FlashGraph-style traversal and an OLTP transaction stream), and a
+// registry of named Mix scenarios — the twelve read-intensive +
+// write-intensive co-run pairs of Figures 5, 10 and 11, per-app solo
+// runs, 3- and 4-app consolidation mixes and read/write stress mixes.
 //
 // The paper drives MacSim with real program traces; those are not
 // available, so this package substitutes deterministic synthetic
@@ -63,11 +66,49 @@ type Inst struct {
 // heap-allocated slice.
 const maxAccPerInst = 8
 
+// Family selects a trace-generator behavior. The zero value is the
+// Table II generic family; the other two are the scenario-subsystem
+// additions calibrated against related work rather than Table II.
+type Family int
+
+const (
+	// FamilyGeneric is the Table II behavior: PC-stable sequential
+	// scans, power-law random gathers, warp-affine bursty writes.
+	FamilyGeneric Family = iota
+	// FamilyFrontier is a frontier-phase graph traversal
+	// (FlashGraph-style): each kernel is one BFS level whose random
+	// reads land in a per-kernel frontier window of the hot pool that
+	// expands toward the middle levels and contracts again, while edge
+	// lists are still scanned sequentially.
+	FamilyFrontier
+	// FamilyOLTP is a transaction stream (high-throughput GPU OLTP
+	// style): fixed-shape read-modify-write transactions of small
+	// single-sector random row reads followed by one scattered row
+	// update, with no scans and no write bursts — the access pattern
+	// that thrashes page-granularity buffering and per-plane staging
+	// registers alike.
+	FamilyOLTP
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyGeneric:
+		return "generic"
+	case FamilyFrontier:
+		return "frontier"
+	case FamilyOLTP:
+		return "oltp"
+	}
+	return "unknown"
+}
+
 // Spec statically describes one application of Table II plus the
 // locality calibration targets.
 type Spec struct {
 	Name      string
-	Suite     string  // "graph" or "sci"
+	Suite     string  // "graph", "sci", "tx" or "stress"
+	Family    Family  // trace-generator family (zero value: Table II generic)
 	ReadRatio float64 // fraction of accesses that are reads (Table II)
 	Kernels   int     // kernel launches (Table II)
 
@@ -191,6 +232,14 @@ type Stream struct {
 	seqCursor uint64
 	readFrac  float64 // instruction-level read probability
 
+	// Frontier-family state: the hot-pool window [frontLo,
+	// frontLo+frontN) this kernel's random reads land in.
+	frontLo, frontN int
+
+	// OLTP-family state: reads remaining before the transaction's
+	// read-modify-write store (txnReads per transaction).
+	txnReads, txnPos int
+
 	// accBuf backs Inst.Acc between Next calls (see Inst).
 	accBuf [maxAccPerInst]Access
 
@@ -219,7 +268,7 @@ func (a *App) Stream(kernel, warp int) *Stream {
 	}
 	seed := uint64(a.Spec.Seed) ^ uint64(a.Index)<<48 ^ uint64(kernel)<<24 ^ uint64(warp)
 	strip := uint64(kernel*a.Spec.WarpsPerKernel+warp) * uint64(a.instPerWK) * SectorBytes
-	return &Stream{
+	s := &Stream{
 		app:       a,
 		kernel:    kernel,
 		warp:      warp,
@@ -227,6 +276,68 @@ func (a *App) Stream(kernel, warp int) *Stream {
 		seqCursor: a.vaBase + regSeq + strip,
 		readFrac:  a.readInstFrac(),
 	}
+	switch a.Spec.Family {
+	case FamilyFrontier:
+		s.frontLo, s.frontN = a.FrontierWindow(kernel)
+	case FamilyOLTP:
+		s.txnReads = oltpTxnReads(a.Spec.ReadRatio)
+	}
+	return s
+}
+
+// FrontierWindow reports the hot-pool window [lo, lo+n) that kernel
+// k's random reads draw from in the frontier family: window sizes
+// follow a triangular expand/contract profile across kernels (a BFS
+// frontier growing to its peak level and draining again) and tile the
+// hot pool exactly, so the family's distinct-page count — and with it
+// the ReadReuse calibration — matches the generic sizing math.
+func (a *App) FrontierWindow(k int) (lo, n int) {
+	K := a.Spec.Kernels
+	if k < 0 || k >= K {
+		panic(fmt.Sprintf("workload: frontier kernel %d out of range", k))
+	}
+	weight := func(i int) int {
+		if up, down := i+1, K-i; up < down {
+			return up
+		} else {
+			return down
+		}
+	}
+	total := 0
+	for i := 0; i < K; i++ {
+		total += weight(i)
+	}
+	for i := 0; i < k; i++ {
+		lo += a.hotPages * weight(i) / total
+	}
+	n = a.hotPages * weight(k) / total
+	if k == K-1 {
+		n = a.hotPages - lo // remainder: the tiling must be exact
+	}
+	if n < 1 {
+		n = 1
+	}
+	if lo+n > a.hotPages {
+		lo = a.hotPages - n
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	return lo, n
+}
+
+// oltpTxnReads converts an OLTP access-level read ratio r into the
+// reads-per-transaction count k of the fixed k-reads-then-one-write
+// transaction shape (r = k/(k+1), every access one sector).
+func oltpTxnReads(ratio float64) int {
+	if ratio >= 1 {
+		panic("workload: OLTP specs need writes (ReadRatio < 1)")
+	}
+	k := int(ratio/(1-ratio) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // Remaining reports how many memory instructions the stream still has.
@@ -243,6 +354,12 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 	alu := 1
 	if spec.ALUMean > 1 {
 		alu = 1 + s.rng.Intn(2*spec.ALUMean-1) // mean ~= ALUMean
+	}
+
+	// OLTP transactions have a fixed shape (k reads, then the store),
+	// not a probabilistic mix — the access-level read ratio is exact.
+	if spec.Family == FamilyOLTP {
+		return s.nextOLTP(alu), true
 	}
 
 	// Choose read vs write with the instruction-level probability that
@@ -276,7 +393,14 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 		if n < 1 {
 			n = 1
 		}
-		page := s.zipfPage(s.app.hotPages)
+		var page uint64
+		if spec.Family == FamilyFrontier {
+			// Frontier family: the gather lands in this kernel's
+			// frontier window instead of the whole hot pool.
+			page = uint64(s.frontLo) + s.zipfPage(s.frontN)
+		} else {
+			page = s.zipfPage(s.app.hotPages)
+		}
 		sectors := uint64(PageBytes / SectorBytes)
 		start := uint64(s.rng.Intn(int(sectors)))
 		acc := s.accBuf[:0]
@@ -322,6 +446,27 @@ func (s *Stream) Next() (inst Inst, ok bool) {
 			Acc: append(s.accBuf[:0], Access{Addr: s.app.vaBase + regWrite + s.writeVP*PageBytes + sector*SectorBytes, Write: true})}
 	}
 	return inst, true
+}
+
+// nextOLTP emits the next instruction of the fixed read-modify-write
+// transaction shape: txnReads single-sector row reads skewed over the
+// hot pool, then one store skewed over the row-update pool. Stores are
+// never bursty — each one redraws its page — which is exactly the
+// scattered small-write pressure that defeats per-plane staging
+// registers and page-granularity write buffering.
+func (s *Stream) nextOLTP(alu int) Inst {
+	pcBase := uint64(s.app.Index+1) << 20
+	sector := uint64(s.rng.Intn(PageBytes / SectorBytes))
+	if s.txnPos < s.txnReads {
+		s.txnPos++
+		page := s.zipfPage(s.app.hotPages)
+		return Inst{PC: pcBase | 0x40, ALU: alu,
+			Acc: append(s.accBuf[:0], Access{Addr: s.app.vaBase + regHot + page*PageBytes + sector*SectorBytes})}
+	}
+	s.txnPos = 0
+	page := s.zipfPage(s.app.writePool)
+	return Inst{PC: pcBase | 0x50, ALU: alu,
+		Acc: append(s.accBuf[:0], Access{Addr: s.app.vaBase + regWrite + page*PageBytes + sector*SectorBytes, Write: true})}
 }
 
 // WriteClusterPages is the number of distinct hot write pages that

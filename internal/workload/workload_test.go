@@ -40,25 +40,33 @@ func TestTableIITranscription(t *testing.T) {
 	}
 }
 
-func TestPairsMatchPaper(t *testing.T) {
-	pairs := Pairs()
+func TestPaperPairsMatchPaper(t *testing.T) {
+	pairs := PaperPairs()
 	if len(pairs) != 12 {
-		t.Fatalf("len(Pairs) = %d, want 12", len(pairs))
+		t.Fatalf("len(PaperPairs) = %d, want 12", len(pairs))
 	}
 	if pairs[0].Name != "betw-back" || pairs[11].Name != "pr-gaus" {
 		t.Errorf("pair order: first %q last %q", pairs[0].Name, pairs[11].Name)
 	}
 	for _, p := range pairs {
-		a, err := SpecByName(p.A)
+		if p.Degree() != 2 {
+			t.Fatalf("%s: degree %d, want 2", p.Name, p.Degree())
+		}
+		a, err := SpecByName(p.Components[0].App)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		b, err := SpecByName(p.B)
+		b, err := SpecByName(p.Components[1].App)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
 		if a.Suite != "graph" || b.Suite != "sci" {
 			t.Errorf("%s: want graph+sci co-run, got %s+%s", p.Name, a.Suite, b.Suite)
+		}
+		for _, c := range p.Components {
+			if c.Weight != 1 {
+				t.Errorf("%s: paper pairs run at weight 1, got %v", p.Name, c.Weight)
+			}
 		}
 	}
 }
@@ -67,8 +75,230 @@ func TestSpecByNameUnknown(t *testing.T) {
 	if _, err := SpecByName("nope"); err == nil {
 		t.Error("want error for unknown app")
 	}
-	if _, err := PairByName("nope"); err == nil {
-		t.Error("want error for unknown pair")
+	if _, err := MixByName("nope"); err == nil {
+		t.Error("want error for unknown scenario")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	scen := Scenarios()
+	names := map[string]bool{}
+	for _, m := range scen {
+		if names[m.Name] {
+			t.Errorf("duplicate scenario name %q", m.Name)
+		}
+		names[m.Name] = true
+		if _, err := m.Apps(0.01); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		got, err := MixByName(m.Name)
+		if err != nil {
+			t.Errorf("MixByName(%q): %v", m.Name, err)
+		} else if got.ID() != m.ID() {
+			t.Errorf("MixByName(%q) resolved to %q", m.Name, got.ID())
+		}
+	}
+	// Every application has a solo scenario.
+	for _, s := range AllSpecs() {
+		if !names["solo-"+s.Name] {
+			t.Errorf("missing solo scenario for %s", s.Name)
+		}
+	}
+	// The consolidation sweep covers degrees 1..4 with ascending degree.
+	for d := 1; d <= ConsolidationDegrees; d++ {
+		m, err := ConsolidationMix(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !names[m.Name] {
+			t.Errorf("registry missing %s", m.Name)
+		}
+		if m.Degree() != d {
+			t.Errorf("%s: degree %d, want %d", m.Name, m.Degree(), d)
+		}
+	}
+	if _, err := ConsolidationMix(0); err == nil {
+		t.Error("want error for consolidation degree 0")
+	}
+	// Stress mixes are single-sided.
+	for name, wantWrites := range map[string]bool{"read-stress": false, "write-stress": true} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps, err := m.Apps(0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Characterize(apps...)
+		if wantWrites && (st.ReadSectors != 0 || st.WriteSectors == 0) {
+			t.Errorf("%s: reads=%d writes=%d, want write-only", name, st.ReadSectors, st.WriteSectors)
+		}
+		if !wantWrites && (st.WriteSectors != 0 || st.ReadSectors == 0) {
+			t.Errorf("%s: reads=%d writes=%d, want read-only", name, st.ReadSectors, st.WriteSectors)
+		}
+	}
+}
+
+func TestMixIDCanonical(t *testing.T) {
+	m := NewMix("anything", "bfs1", "gaus")
+	if got := m.ID(); got != "bfs1+gaus" {
+		t.Errorf("ID = %q, want bfs1+gaus (weight-1 components elide the weight)", got)
+	}
+	w := Mix{Name: "w", Components: []Component{{App: "bfs1", Weight: 0.5}, {App: "gaus", Weight: 1}}}
+	if got := w.ID(); got != "bfs1*0.5+gaus" {
+		t.Errorf("ID = %q, want bfs1*0.5+gaus", got)
+	}
+	// Order is part of the identity: address-space indexes differ.
+	if NewMix("x", "gaus", "bfs1").ID() == m.ID() {
+		t.Error("component order must change the ID")
+	}
+}
+
+func TestParseApps(t *testing.T) {
+	m, err := ParseApps("bfs1, gaus ,pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "bfs1+gaus+pr" || m.Degree() != 3 {
+		t.Errorf("parsed %q degree %d", m.Name, m.Degree())
+	}
+	m, err = ParseApps("oltp*2,fbfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Components[0].Weight != 2 || m.Name != "oltp*2+fbfs" {
+		t.Errorf("weighted parse: %+v", m)
+	}
+	// Whitespace around the weight separator is tolerated like the
+	// whitespace around commas.
+	m, err = ParseApps("bfs1, oltp * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "bfs1+oltp*2" || m.Components[1].App != "oltp" {
+		t.Errorf("spaced weighted parse: %+v", m)
+	}
+	for _, bad := range []string{"", "nope", "bfs1*0", "bfs1*x"} {
+		if _, err := ParseApps(bad); err == nil {
+			t.Errorf("ParseApps(%q): want error", bad)
+		}
+	}
+}
+
+func TestMixAppsIndexesAndScale(t *testing.T) {
+	m := Mix{Name: "w", Components: []Component{{App: "bfs1", Weight: 1}, {App: "gaus", Weight: 0.5}}}
+	apps, err := m.Apps(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range apps {
+		if a.Index != i {
+			t.Errorf("component %d got index %d", i, a.Index)
+		}
+	}
+	full := NewApp(mustSpec(t, "gaus"), 0.2, 1)
+	if apps[1].TotalMemInsts() >= full.TotalMemInsts() {
+		t.Errorf("weight 0.5 must shrink the trace: %d vs %d",
+			apps[1].TotalMemInsts(), full.TotalMemInsts())
+	}
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	s, err := SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFrontierWindowsTileAndPulse(t *testing.T) {
+	a := NewApp(mustSpec(t, "fbfs"), 0.25, 0)
+	next := 0
+	var sizes []int
+	for k := 0; k < a.Kernels(); k++ {
+		lo, n := a.FrontierWindow(k)
+		if lo != next {
+			t.Fatalf("kernel %d window starts at %d, want %d (tiling gap/overlap)", k, lo, next)
+		}
+		if n < 1 {
+			t.Fatalf("kernel %d window empty", k)
+		}
+		next = lo + n
+		sizes = append(sizes, n)
+	}
+	if next != a.HotPages() {
+		t.Fatalf("windows cover %d of %d hot pages", next, a.HotPages())
+	}
+	// Expand then contract: the peak sits strictly inside the run.
+	peak := 0
+	for k, n := range sizes {
+		if n > sizes[peak] {
+			peak = k
+		}
+	}
+	if peak == 0 || peak == len(sizes)-1 {
+		t.Errorf("frontier peak at kernel %d of %d, want interior expand/contract", peak, len(sizes))
+	}
+	if sizes[0] >= sizes[peak] || sizes[len(sizes)-1] >= sizes[peak] {
+		t.Errorf("frontier does not pulse: sizes %v", sizes)
+	}
+}
+
+func TestOLTPTransactionShape(t *testing.T) {
+	a := NewApp(mustSpec(t, "oltp"), 0.1, 0)
+	s := a.Stream(0, 0)
+	reads := 0
+	for {
+		inst, ok := s.Next()
+		if !ok {
+			break
+		}
+		if len(inst.Acc) != 1 {
+			t.Fatalf("OLTP instruction emitted %d sectors, want 1", len(inst.Acc))
+		}
+		if inst.Acc[0].Write {
+			if reads != 3 {
+				// The stream may end mid-transaction, but a store must
+				// always follow exactly three reads.
+				t.Fatalf("store after %d reads, want 3", reads)
+			}
+			reads = 0
+		} else {
+			reads++
+			if reads > 3 {
+				t.Fatal("more than 3 reads without a store")
+			}
+		}
+	}
+}
+
+// TestFamilyCalibration is the tolerance gate for every scenario
+// family: each application — Table II generics, the frontier and OLTP
+// families, and the stress generators — must land on its ReadRatio
+// spec and within band of its ReadReuse/WriteRedund locality targets
+// under the generalized Characterize.
+func TestFamilyCalibration(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		st := Characterize(NewApp(spec, 0.25, 0))
+		if got := st.ReadRatio(); math.Abs(got-spec.ReadRatio) > 0.03 {
+			t.Errorf("%s: read ratio = %.3f, want %.2f +/- 0.03", spec.Name, got, spec.ReadRatio)
+		}
+		if spec.ReadRatio > 0 {
+			if reuse := st.ReadReuse(); reuse < 0.5*spec.ReadReuse || reuse > 2*spec.ReadReuse {
+				t.Errorf("%s: read reuse = %.1f, want within 2x of target %.0f", spec.Name, reuse, spec.ReadReuse)
+			}
+		}
+		// The redundancy target is meaningful only once the write pool
+		// spans at least one plane cluster; below that the clustering
+		// granularity floors the distinct-page count (pr at small
+		// scales, for example).
+		if spec.ReadRatio < 1 && spec.WriteRedund > 1 && NewApp(spec, 0.25, 0).WritePool() >= WriteClusterPages {
+			if red := st.WriteRedundancy(); red < 0.5*spec.WriteRedund || red > 2*spec.WriteRedund {
+				t.Errorf("%s: write redundancy = %.1f, want within 2x of target %.0f", spec.Name, red, spec.WriteRedund)
+			}
+		}
 	}
 }
 
@@ -121,10 +351,10 @@ func marshalStream(s *Stream) []byte {
 
 // TestStreamByteIdentical pins trace determinism under the O(1)-seeded
 // RNG: identically-seeded streams — including streams of separately
-// constructed App instances — emit byte-identical instruction
-// sequences.
+// constructed App instances, across every generator family — emit
+// byte-identical instruction sequences.
 func TestStreamByteIdentical(t *testing.T) {
-	for _, name := range []string{"betw", "back", "pr", "deg"} {
+	for _, name := range []string{"betw", "back", "pr", "deg", "fbfs", "oltp", "rdstress", "wrstress"} {
 		spec, err := SpecByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -157,28 +387,17 @@ func TestStreamsDifferAcrossWarps(t *testing.T) {
 	}
 }
 
-func TestReadRatioCalibration(t *testing.T) {
-	for _, spec := range Specs() {
-		a := NewApp(spec, 0.25, 0)
-		st := Characterize(a)
-		got := st.ReadRatio()
-		if math.Abs(got-spec.ReadRatio) > 0.03 {
-			t.Errorf("%s: read ratio = %.3f, want %.2f +/- 0.03", spec.Name, got, spec.ReadRatio)
-		}
-	}
-}
-
 func TestReuseCalibrationAverages(t *testing.T) {
 	// Fig. 5b: read re-access averages ~42 across the co-run pairs.
 	// Fig. 5c: write redundancy averages ~65.
 	var reuseSum, redundSum float64
 	n := 0
-	for _, p := range Pairs() {
-		a, b, err := p.Apps(0.25)
+	for _, p := range PaperPairs() {
+		apps, err := p.Apps(0.25)
 		if err != nil {
 			t.Fatal(err)
 		}
-		st := CharacterizePair(a, b)
+		st := Characterize(apps...)
 		reuse, redund := st.ReadReuse(), st.WriteRedundancy()
 		if reuse < 5 || reuse > 120 {
 			t.Errorf("%s: read reuse = %.1f, out of plausible Fig. 5b band", p.Name, reuse)

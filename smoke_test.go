@@ -41,6 +41,7 @@ func TestBenchSmoke(t *testing.T) {
 		{"Fig12", BenchmarkFig12},
 		{"Fig13Sweep", BenchmarkFig13Sweep},
 		{"AblationWriteNet", BenchmarkAblationWriteNet},
+		{"AblationConsolidation", BenchmarkAblationConsolidation},
 		{"AblationGC", BenchmarkAblationGC},
 		{"AblationL2", BenchmarkAblationL2},
 		{"Platforms", BenchmarkPlatforms},
