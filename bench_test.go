@@ -93,7 +93,7 @@ func BenchmarkFig5a(b *testing.B) {
 	o.Mixes = o.Mixes[:1]
 	var worst float64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, deg, err := experiments.Fig5a(o)
 		if err != nil {
 			b.Fatal(err)
@@ -120,7 +120,7 @@ func BenchmarkFig8b(b *testing.B) {
 	o := benchOptions()
 	var max uint64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, heat, err := experiments.Fig8b(o)
 		if err != nil {
 			b.Fatal(err)
@@ -141,7 +141,7 @@ func BenchmarkFig10(b *testing.B) {
 	o.Mixes = o.Mixes[:1]
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, res, err := experiments.Fig10(o)
 		if err != nil {
 			b.Fatal(err)
@@ -157,7 +157,7 @@ func BenchmarkFig11(b *testing.B) {
 	o.Mixes = o.Mixes[:1]
 	var bw float64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, res, err := experiments.Fig11(o)
 		if err != nil {
 			b.Fatal(err)
@@ -171,7 +171,7 @@ func BenchmarkFig12(b *testing.B) {
 	o := benchOptions()
 	o.Mixes = o.Mixes[:1]
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		if _, err := experiments.Fig12(o); err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func BenchmarkFig12(b *testing.B) {
 func BenchmarkFig13Sweep(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		if _, _, err := experiments.Fig13Sweep(o); err != nil {
 			b.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func BenchmarkAblationWriteNet(b *testing.B) {
 	o := benchOptions()
 	var nif float64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, avg, err := experiments.AblationWriteNet(o)
 		if err != nil {
 			b.Fatal(err)
@@ -206,7 +206,7 @@ func BenchmarkAblationConsolidation(b *testing.B) {
 	o := benchOptions()
 	var retained float64
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		_, ipc, err := experiments.AblationConsolidation(o)
 		if err != nil {
 			b.Fatal(err)
@@ -228,7 +228,7 @@ func BenchmarkAblationGC(b *testing.B) {
 func BenchmarkAblationL2(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		experiments.ResetCache()
+		o.Runner = experiments.NewMemo()
 		if _, _, err := experiments.AblationL2(o); err != nil {
 			b.Fatal(err)
 		}

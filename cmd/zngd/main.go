@@ -1,0 +1,121 @@
+// Command zngd serves simulations over HTTP: an always-on daemon in
+// front of the coalescing job scheduler (internal/simsvc) and the
+// persistent content-addressed result store (internal/store), so many
+// clients can share one simulation engine — concurrent identical
+// requests cost one simulation, and anything ever computed against
+// the same cache directory is served from disk across restarts.
+//
+// Usage:
+//
+//	zngd -addr 127.0.0.1:8080 -cache ~/.zng-cache
+//	zngd -addr 127.0.0.1:0 -addr-file /tmp/zngd.addr   # random port, scripted
+//
+// Endpoints (JSON):
+//
+//	POST /v1/run        {"platform":"ZnG","mix":"betw-back","scale":0.12}
+//	GET  /v1/jobs       job list
+//	GET  /v1/jobs/{id}  job status
+//	GET  /v1/scenarios  workload scenario registry
+//	GET  /v1/platforms  platform vocabulary
+//	GET  /healthz       liveness
+//	GET  /metrics       counters (sims, memory/disk hits, coalesced, jobs, store entries)
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight requests (and their simulations) drain, then closes the
+// service.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/simsvc"
+	"zng/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a random free port)")
+		cacheDir = flag.String("cache", "", "persistent result store directory (empty: memory-only)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once bound")
+		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain budget for in-flight simulations")
+	)
+	flag.Parse()
+
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			fatal(err)
+		}
+	}
+	svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// The file appears atomically with the address in it, so a
+		// script can poll for it and connect immediately.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+	cache := "memory-only"
+	if st != nil {
+		cache = st.Dir()
+	}
+	fmt.Printf("zngd: listening on http://%s (cache: %s)\n", bound, cache)
+
+	srv := &http.Server{Handler: simsvc.NewHandler(svc, config.Default())}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("zngd: shutting down, draining in-flight simulations")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "zngd: shutdown:", err)
+	}
+	// The drain budget bounds the whole shutdown, service included: a
+	// multi-hour cell must not keep the process alive past -drain.
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-shutdownCtx.Done():
+		fmt.Fprintln(os.Stderr, "zngd: drain budget exhausted; exiting with simulations in flight (their cells are lost)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zngd:", err)
+	os.Exit(1)
+}

@@ -18,15 +18,19 @@
 // figure (<id>.<format>) into a directory instead of printing. Without
 // either, figures print as plain text tables.
 //
-// The figure drivers share a process-wide simulation memo: any (kind,
-// mix, scale, config) cell is simulated once per invocation no matter
-// how many figures need it, which is what makes `-fig all` tractable
-// at full scale. -v reports per-figure wall-clock and the dedup ratio.
+// The figure drivers share one simulation runner per invocation: any
+// (kind, mix, scale, config) cell is simulated once no matter how
+// many figures need it, which is what makes `-fig all` tractable at
+// full scale. With -cache DIR the runner is the persistent
+// content-addressed store shared with zngsim and the zngd daemon, so
+// cells survive across invocations too. -v reports per-figure
+// wall-clock and the dedup ratio (memory vs disk hits).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"slices"
@@ -35,24 +39,44 @@ import (
 
 	"zng/internal/experiments"
 	"zng/internal/report"
+	"zng/internal/simsvc"
 	"zng/internal/stats"
+	"zng/internal/store"
 	"zng/internal/workload"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id to regenerate, or all, or docs")
-		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
-		mixesCS = flag.String("mixes", "", "comma-separated workload scenarios (default: the 12 paper pairs)")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
-		outDir  = flag.String("out", "", "write figures to this directory instead of stdout")
-		format  = flag.String("format", "", "rendering: md, csv or json (default: text to stdout, md with -out)")
-		verbose = flag.Bool("v", false, "report per-figure wall-clock and simulation-memo stats")
+		fig      = flag.String("fig", "all", "figure id to regenerate, or all, or docs")
+		scale    = flag.Float64("scale", experiments.DefaultScale, "trace scale (1.0 = Table II budgets)")
+		mixesCS  = flag.String("mixes", "", "comma-separated workload scenarios (default: the 12 paper pairs)")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = NumCPU)")
+		outDir   = flag.String("out", "", "write figures to this directory instead of stdout")
+		format   = flag.String("format", "", "rendering: md, csv or json (default: text to stdout, md with -out)")
+		cacheDir = flag.String("cache", "", "read-through/write-through persistent result store directory")
+		verbose  = flag.Bool("v", false, "report per-figure wall-clock and simulation-runner stats")
 	)
 	flag.Parse()
 
-	if *scale <= 0 {
-		fatal(fmt.Errorf("scale must be positive, got %v", *scale))
+	// With -cache the figure suite runs through the store-backed
+	// service (the same code path zngsim and zngd use); without it,
+	// DefaultOptions' in-memory memo already dedups within this run.
+	var runner experiments.Runner
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers})
+		defer svc.Close()
+		runner = svc
+	}
+
+	// Reject NaN and ±Inf along with non-positives: a non-finite scale
+	// would otherwise reach the store's key hasher, which cannot encode
+	// it.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("scale must be positive and finite, got %v", *scale))
 	}
 	// Reject a bad format before any simulation runs: at full scale a
 	// figure costs minutes, and report.Render would only error after.
@@ -70,6 +94,9 @@ func main() {
 		// `zngfig -fig docs` always reproduces the committed files;
 		// explicit flags still override for ad-hoc larger runs.
 		o := experiments.DocsOptions()
+		if runner != nil {
+			o.Runner = runner
+		}
 		applyExplicitFlags(&o, *scale, *mixesCS, *workers)
 		dir := *outDir
 		if dir == "" {
@@ -90,7 +117,7 @@ func main() {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "zngfig: docs -> %s in %v (%d/%d shape checks pass)\n",
 				dir, time.Since(start).Round(time.Millisecond), ds.Passed, ds.Checked)
-			reportMemo()
+			reportRunner(o.Runner)
 		}
 		// The docs record FAIL verdicts honestly, but the run itself
 		// must go red so a shape regression cannot land with green CI.
@@ -101,6 +128,9 @@ func main() {
 	}
 
 	o := experiments.DefaultOptions()
+	if runner != nil {
+		o.Runner = runner
+	}
 	applyExplicitFlags(&o, *scale, *mixesCS, *workers)
 
 	ids := []string{*fig}
@@ -136,7 +166,7 @@ func main() {
 		}
 	}
 	if *verbose {
-		reportMemo()
+		reportRunner(o.Runner)
 	}
 }
 
@@ -212,9 +242,17 @@ func emit(f experiments.Figure, o experiments.Options, outDir, format string) er
 	return os.WriteFile(filepath.Join(outDir, f.ID+"."+format), out, 0o644)
 }
 
-func reportMemo() {
-	sims, hits := experiments.CacheStats()
-	fmt.Fprintf(os.Stderr, "zngfig: %d unique simulations, %d served from memo\n", sims, hits)
+// reportRunner prints the dedup ratio of whatever runner the suite
+// ran under: how many cells actually simulated, and how the rest were
+// served (memory vs the persistent store vs coalesced onto a flight).
+func reportRunner(r experiments.Runner) {
+	sr, ok := r.(experiments.StatsReporter)
+	if !ok {
+		return
+	}
+	st := sr.Stats()
+	fmt.Fprintf(os.Stderr, "zngfig: %d unique simulations, %d memory hits, %d disk hits, %d coalesced\n",
+		st.Sims, st.MemoryHits, st.DiskHits, st.Coalesced)
 }
 
 func fatal(err error) {

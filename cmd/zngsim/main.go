@@ -7,6 +7,7 @@
 //	zngsim -platform ZnG -mix consol-4
 //	zngsim -apps bfs1,gaus,pr -platform HybridGPU
 //	zngsim -platform ZnG-base -mix betw-back -cpuprofile zng.prof
+//	zngsim -mix betw-back -cache ~/.zng-cache
 //	zngsim -list
 //
 // -mix names a registered scenario (workload.Scenarios: the twelve
@@ -17,6 +18,11 @@
 // vocabularies, derived from the same registries the flags resolve
 // against, so the help text can never drift from the code.
 //
+// -cache routes the run through the persistent content-addressed
+// result store shared with zngfig and the zngd daemon: a cell any of
+// them already computed is served from disk, and a fresh simulation is
+// written through for the next caller.
+//
 // -cpuprofile captures a pprof profile of the simulation itself; this
 // is the loop used to find the simulator's hot paths (the rand-seeding
 // and event-queue costs this codebase has since eliminated).
@@ -25,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime/pprof"
 	"sort"
@@ -33,22 +40,25 @@ import (
 	"zng/internal/config"
 	"zng/internal/experiments"
 	"zng/internal/platform"
+	"zng/internal/simsvc"
+	"zng/internal/store"
 	"zng/internal/workload"
 )
 
 func main() {
 	var (
-		plat    = flag.String("platform", "ZnG", "platform: "+strings.Join(platformNames(), ", "))
-		mixName = flag.String("mix", "betw-back", "workload scenario name (see -list)")
-		apps    = flag.String("apps", "", "ad-hoc mix: comma-separated applications, e.g. bfs1,gaus,pr (overrides -mix)")
-		scale   = flag.Float64("scale", experiments.DefaultScale, "trace scale")
-		list    = flag.Bool("list", false, "list platforms, applications and scenarios")
-		profile = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		plat     = flag.String("platform", "ZnG", "platform: "+strings.Join(platform.KindNames(), ", "))
+		mixName  = flag.String("mix", "betw-back", "workload scenario name (see -list)")
+		apps     = flag.String("apps", "", "ad-hoc mix: comma-separated applications, e.g. bfs1,gaus,pr (overrides -mix)")
+		scale    = flag.Float64("scale", experiments.DefaultScale, "trace scale")
+		cacheDir = flag.String("cache", "", "read-through/write-through persistent result store directory")
+		list     = flag.Bool("list", false, "list platforms, applications and scenarios")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("platforms:", strings.Join(platformNames(), " "))
+		fmt.Println("platforms:", strings.Join(platform.KindNames(), " "))
 		fmt.Print("apps:     ")
 		for _, s := range workload.AllSpecs() {
 			fmt.Print(" ", s.Name)
@@ -61,10 +71,13 @@ func main() {
 		return
 	}
 
-	if *scale <= 0 {
-		fatal(fmt.Errorf("scale must be positive, got %v", *scale))
+	// Reject NaN and ±Inf along with non-positives: a non-finite scale
+	// would otherwise reach the store's key hasher, which cannot encode
+	// it.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		fatal(fmt.Errorf("scale must be positive and finite, got %v", *scale))
 	}
-	kind, err := parseKind(*plat)
+	kind, err := platform.KindByName(*plat)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,6 +89,29 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	// run produces the single cell: directly, or — with -cache —
+	// through the store-backed service (one worker; the service is
+	// here for its read-through/write-through path, the same code path
+	// zngfig and zngd run).
+	run := func() (platform.Result, error) {
+		return platform.RunMix(kind, mix, *scale, config.Default())
+	}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		run = func() (platform.Result, error) {
+			svc := simsvc.New(simsvc.Config{Store: st, Workers: 1})
+			defer svc.Close()
+			r, err := svc.Run(kind, mix, *scale, config.Default())
+			if err == nil {
+				stats := svc.Stats()
+				fmt.Printf("cache:      %s (sims %d, disk hits %d)\n", st.Dir(), stats.Sims, stats.DiskHits)
+			}
+			return r, err
+		}
 	}
 	// The profile is stopped explicitly (not deferred): fatal exits via
 	// os.Exit, and a failing run — a runaway simulation hitting the
@@ -95,7 +131,7 @@ func main() {
 			f.Close()
 		}
 	}
-	r, err := platform.RunMix(kind, mix, *scale, config.Default())
+	r, err := run()
 	stopProfile()
 	if err != nil {
 		fatal(err)
@@ -119,28 +155,6 @@ func main() {
 	for _, k := range keys {
 		fmt.Printf("  %-18s %.6g\n", k, r.Extra[k])
 	}
-}
-
-// platformNames derives the -platform vocabulary from platform.Kinds,
-// so a new platform shows up here without touching this file.
-func platformNames() []string {
-	names := []string{platform.GDDR5.String()}
-	for _, k := range platform.Kinds() {
-		names = append(names, k.String())
-	}
-	return names
-}
-
-func parseKind(s string) (platform.Kind, error) {
-	if s == platform.GDDR5.String() {
-		return platform.GDDR5, nil
-	}
-	for _, k := range platform.Kinds() {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown platform %q (valid: %s)", s, strings.Join(platformNames(), ", "))
 }
 
 func fatal(err error) {

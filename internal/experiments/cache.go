@@ -13,15 +13,47 @@ import (
 // unchanged baseline cells, and `zngfig -fig all` multiplies that
 // again. A simulation is a pure function of (kind, mix, scale, cfg) —
 // the engine is single-threaded and the traces are seed-deterministic
-// — so results are memoized process-wide: the full figure suite
-// performs each unique simulation exactly once, and repeated cells
-// cost a map lookup.
+// — so results are memoized per Runner: one Options value (and every
+// copy derived from it) shares a Runner, and a full figure suite run
+// under it performs each unique simulation exactly once.
 //
-// The workload participates through workload.Mix.ID(), its canonical
-// content identity: a Mix carries a component slice and so cannot sit
-// in a comparable map key itself, and keying on the ID (rather than
-// the display name) lets scenarios that alias the same composition —
-// consol-2 and bfs1-gaus, say — share one simulation.
+// Runner is the injection point: the drivers only ever ask "give me
+// the result for this cell", so anything that answers that — the
+// in-memory Memo below, or the persistent store-backed scheduler in
+// internal/simsvc — can stand behind the whole experiments package,
+// the CLIs and the zngd daemon alike.
+type Runner interface {
+	Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error)
+}
+
+// RunnerStats counts how a Runner satisfied its requests. Memo never
+// touches disk, so its DiskHits stay zero; the simsvc service fills
+// all four.
+type RunnerStats struct {
+	// Sims is the number of unique simulations actually performed.
+	Sims uint64
+	// MemoryHits counts requests served from an already-completed
+	// in-memory result.
+	MemoryHits uint64
+	// DiskHits counts requests served from the persistent store.
+	DiskHits uint64
+	// Coalesced counts requests that attached to an identical
+	// simulation already in flight instead of starting their own.
+	Coalesced uint64
+}
+
+// StatsReporter is implemented by runners that keep RunnerStats;
+// zngfig -v uses it to print the dedup ratio without caring which
+// runner is injected.
+type StatsReporter interface {
+	Stats() RunnerStats
+}
+
+// The workload participates in the memo key through workload.Mix.ID(),
+// its canonical content identity: a Mix carries a component slice and
+// so cannot sit in a comparable map key itself, and keying on the ID
+// (rather than the display name) lets scenarios that alias the same
+// composition — consol-2 and bfs1-gaus, say — share one simulation.
 //
 // config.Config is a flat value type (no slices, maps or pointers), so
 // the whole configuration participates in the key by value; any sweep
@@ -34,8 +66,8 @@ type runKey struct {
 }
 
 // runEntry is one memoized cell. done is closed once res/err are
-// final, giving the cache single-flight semantics: concurrent
-// requests for the same cell block on the first simulation instead of
+// final, giving the memo single-flight semantics: concurrent requests
+// for the same cell block on the first simulation instead of
 // duplicating it.
 type runEntry struct {
 	done chan struct{}
@@ -43,23 +75,39 @@ type runEntry struct {
 	err  error
 }
 
-var runCache = struct {
-	mu   sync.Mutex
-	m    map[runKey]*runEntry
-	sims uint64 // unique simulations performed
-	hits uint64 // requests served from memory (or by waiting on a flight)
-}{m: map[runKey]*runEntry{}}
+// Memo is the in-memory single-flight Runner: process-lifetime
+// results, no persistence. It is what DefaultOptions injects, so
+// library users and tests get dedup within one Options lineage without
+// any process-wide mutable state — two independently built Options
+// values cannot observe each other's cells.
+type Memo struct {
+	mu        sync.Mutex
+	m         map[runKey]*runEntry
+	sims      uint64
+	memHits   uint64
+	coalesced uint64
+}
 
-// cachedRun returns the memoized platform.RunMix result for one cell,
+// NewMemo returns an empty in-memory runner.
+func NewMemo() *Memo {
+	return &Memo{m: map[runKey]*runEntry{}}
+}
+
+// Run returns the memoized platform.RunMix result for one cell,
 // simulating it on first request. Errors are cached too: a failed cell
 // (deadlock, event-cap overrun) is deterministic, so retrying it would
 // only waste the same wall-clock again.
-func cachedRun(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+func (c *Memo) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
 	key := runKey{kind: kind, mix: mix.ID(), scale: scale, cfg: cfg}
-	runCache.mu.Lock()
-	if e, ok := runCache.m[key]; ok {
-		runCache.hits++
-		runCache.mu.Unlock()
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		select {
+		case <-e.done:
+			c.memHits++
+		default:
+			c.coalesced++
+		}
+		c.mu.Unlock()
 		<-e.done
 		// Two scenario names may share one content ID; each caller gets
 		// the result labeled with the name it asked under.
@@ -70,29 +118,37 @@ func cachedRun(kind platform.Kind, mix workload.Mix, scale float64, cfg config.C
 		return res, e.err
 	}
 	e := &runEntry{done: make(chan struct{})}
-	runCache.m[key] = e
-	runCache.sims++
-	runCache.mu.Unlock()
+	c.m[key] = e
+	c.sims++
+	c.mu.Unlock()
 
 	e.res, e.err = platform.RunMix(kind, mix, scale, cfg)
 	close(e.done)
 	return e.res, e.err
 }
 
-// CacheStats reports unique simulations performed and requests served
-// from the memo — the dedup ratio zngfig prints after a figure suite.
-func CacheStats() (sims, hits uint64) {
-	runCache.mu.Lock()
-	defer runCache.mu.Unlock()
-	return runCache.sims, runCache.hits
+// Stats reports how requests were satisfied — the dedup ratio zngfig
+// prints after a figure suite.
+func (c *Memo) Stats() RunnerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RunnerStats{Sims: c.sims, MemoryHits: c.memHits, Coalesced: c.coalesced}
 }
 
-// ResetCache drops all memoized results (and the stats counters).
-// Tests that deliberately re-simulate use it; figure runs never need
-// to.
-func ResetCache() {
-	runCache.mu.Lock()
-	defer runCache.mu.Unlock()
-	runCache.m = map[runKey]*runEntry{}
-	runCache.sims, runCache.hits = 0, 0
+// Reset drops all memoized results (and the stats counters).
+// Benchmarks that deliberately re-simulate use it; figure runs never
+// need to.
+func (c *Memo) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[runKey]*runEntry{}
+	c.sims, c.memHits, c.coalesced = 0, 0, 0
+}
+
+// directRunner is the fallback when Options carries no Runner at all:
+// every request simulates, nothing is shared. Zero value usable.
+type directRunner struct{}
+
+func (directRunner) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return platform.RunMix(kind, mix, scale, cfg)
 }

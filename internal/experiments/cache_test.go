@@ -7,36 +7,49 @@ import (
 	"zng/internal/platform"
 )
 
-// TestCacheDedupsRepeatedMatrices pins the tentpole property: running
-// the same matrix twice performs each unique simulation exactly once.
-func TestCacheDedupsRepeatedMatrices(t *testing.T) {
+// memoStats extracts the RunnerStats of the Options' injected runner.
+func memoStats(t *testing.T, o Options) RunnerStats {
+	t.Helper()
+	sr, ok := o.Runner.(StatsReporter)
+	if !ok {
+		t.Fatalf("options runner %T does not report stats", o.Runner)
+	}
+	return sr.Stats()
+}
+
+// TestMemoDedupsRepeatedMatrices pins the memo property: running the
+// same matrix twice under one Options lineage performs each unique
+// simulation exactly once. No scale tricks are needed any more — the
+// memo is per-Options, not process-wide.
+func TestMemoDedupsRepeatedMatrices(t *testing.T) {
 	o := TestOptions()
-	o.Scale = 0.013 // unique key-space for this test
+	o.Scale = 0.013
 	o.Mixes = o.Mixes[:2]
 	kinds := []platform.Kind{platform.GDDR5, platform.Optane}
 	cells := uint64(len(kinds) * len(o.Mixes))
 
-	sims0, hits0 := CacheStats()
 	for run := 0; run < 2; run++ {
 		if _, err := runMatrix(o, kinds); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sims, hits := CacheStats()
-	if got := sims - sims0; got != cells {
-		t.Errorf("unique simulations = %d, want %d (each cell exactly once)", got, cells)
+	st := memoStats(t, o)
+	if st.Sims != cells {
+		t.Errorf("unique simulations = %d, want %d (each cell exactly once)", st.Sims, cells)
 	}
-	if got := hits - hits0; got != cells {
-		t.Errorf("cache hits = %d, want %d (second run fully served from memo)", got, cells)
+	if st.MemoryHits != cells {
+		t.Errorf("memory hits = %d, want %d (second run fully served from memo)", st.MemoryHits, cells)
+	}
+	if st.DiskHits != 0 {
+		t.Errorf("memo reported %d disk hits; it has no disk", st.DiskHits)
 	}
 }
 
-// TestCacheSingleFlight: concurrent requests for one cell coalesce
+// TestMemoSingleFlight: concurrent requests for one cell coalesce
 // onto a single simulation.
-func TestCacheSingleFlight(t *testing.T) {
+func TestMemoSingleFlight(t *testing.T) {
 	o := TestOptions()
-	o.Scale = 0.017 // unique key-space for this test
-	sims0, _ := CacheStats()
+	o.Scale = 0.017
 
 	const callers = 8
 	var wg sync.WaitGroup
@@ -55,9 +68,13 @@ func TestCacheSingleFlight(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	sims, _ := CacheStats()
-	if got := sims - sims0; got != 1 {
-		t.Errorf("concurrent identical runOne calls performed %d simulations, want 1", got)
+	st := memoStats(t, o)
+	if st.Sims != 1 {
+		t.Errorf("concurrent identical runOne calls performed %d simulations, want 1", st.Sims)
+	}
+	if got := st.MemoryHits + st.Coalesced; got != callers-1 {
+		t.Errorf("memory hits (%d) + coalesced (%d) = %d, want %d",
+			st.MemoryHits, st.Coalesced, got, callers-1)
 	}
 	for i := 1; i < callers; i++ {
 		if results[i].IPC != results[0].IPC || results[i].Cycles != results[0].Cycles {
@@ -66,47 +83,79 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 }
 
+// TestMemoIsolatedPerOptions: two independently built Options values
+// must not observe each other's cells — the property that freed the
+// tests of process-wide state.
+func TestMemoIsolatedPerOptions(t *testing.T) {
+	a, b := TestOptions(), TestOptions()
+	a.Scale, b.Scale = 0.011, 0.011
+	if _, err := runOne(a, platform.GDDR5, "betw-back"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runOne(b, platform.GDDR5, "betw-back"); err != nil {
+		t.Fatal(err)
+	}
+	if st := memoStats(t, b); st.Sims != 1 || st.MemoryHits != 0 {
+		t.Errorf("second lineage stats %+v, want its own single simulation", st)
+	}
+}
+
 // TestMatrixStopsAfterFirstError: once a cell fails, the matrix must
 // stop spawning work rather than grinding through every remaining
 // simulation.
 func TestMatrixStopsAfterFirstError(t *testing.T) {
 	o := TestOptions()
-	o.Scale = 0.019 // unique key-space for this test
-	o.Workers = 1   // serialize so the failure lands before most spawns
+	o.Scale = 0.019
+	o.Workers = 1 // serialize so the failure lands before most spawns
 	// Unknown kinds fail in build() before any simulation work.
 	kinds := []platform.Kind{platform.Kind(97), platform.Kind(98), platform.Kind(99)}
 	cells := uint64(len(kinds) * len(o.Mixes))
 
-	sims0, _ := CacheStats()
 	_, err := runMatrix(o, kinds)
 	if err == nil {
 		t.Fatal("matrix of unknown kinds must error")
 	}
-	sims, _ := CacheStats()
-	if got := sims - sims0; got > cells/2 {
-		t.Errorf("attempted %d of %d cells after first failure, want early stop", got, cells)
+	if st := memoStats(t, o); st.Sims > cells/2 {
+		t.Errorf("attempted %d of %d cells after first failure, want early stop", st.Sims, cells)
 	}
 }
 
-func TestResetCache(t *testing.T) {
+func TestMemoReset(t *testing.T) {
 	o := TestOptions()
-	o.Scale = 0.013 // same key-space as the dedup test: already memoized
-	sims0, hits0 := CacheStats()
+	o.Scale = 0.013
+	memo := o.Runner.(*Memo)
 	if _, err := runOne(o, platform.GDDR5, o.Mixes[0].Name); err != nil {
 		t.Fatal(err)
-	}
-	sims, hits := CacheStats()
-	if sims != sims0 || hits != hits0+1 {
-		t.Fatalf("expected a pure cache hit, got sims %d->%d hits %d->%d", sims0, sims, hits0, hits)
-	}
-	ResetCache()
-	if s, h := CacheStats(); s != 0 || h != 0 {
-		t.Errorf("stats after reset = (%d, %d), want (0, 0)", s, h)
 	}
 	if _, err := runOne(o, platform.GDDR5, o.Mixes[0].Name); err != nil {
 		t.Fatal(err)
 	}
-	if s, _ := CacheStats(); s != 1 {
-		t.Errorf("post-reset run simulated %d cells, want 1 (memo was dropped)", s)
+	if st := memo.Stats(); st.Sims != 1 || st.MemoryHits != 1 {
+		t.Fatalf("expected one simulation and one pure hit, got %+v", st)
+	}
+	memo.Reset()
+	if st := memo.Stats(); st != (RunnerStats{}) {
+		t.Errorf("stats after reset = %+v, want zeroes", st)
+	}
+	if _, err := runOne(o, platform.GDDR5, o.Mixes[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if st := memo.Stats(); st.Sims != 1 {
+		t.Errorf("post-reset run simulated %d cells, want 1 (memo was dropped)", st.Sims)
+	}
+}
+
+// TestNilRunnerSimulatesDirectly: Options without a runner still work
+// — every request simulates, nothing is shared.
+func TestNilRunnerSimulatesDirectly(t *testing.T) {
+	o := TestOptions()
+	o.Scale = 0.011
+	o.Runner = nil
+	r, err := runOne(o, platform.GDDR5, "betw-back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Errorf("direct run IPC %v, want positive", r.IPC)
 	}
 }

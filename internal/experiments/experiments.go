@@ -34,14 +34,22 @@ type Options struct {
 	// Workers bounds simulation parallelism (0 = NumCPU). Individual
 	// simulations stay single-threaded and deterministic.
 	Workers int
+	// Runner answers simulation requests. DefaultOptions injects a
+	// fresh in-memory Memo, so every Options lineage (the value and
+	// all copies derived from it) shares one memo and independent
+	// lineages cannot observe each other; the CLIs and the zngd
+	// daemon inject the persistent simsvc scheduler instead. A nil
+	// Runner simulates every request directly, with no sharing.
+	Runner Runner
 }
 
 // DefaultScale is the figure-quality trace scale.
 const DefaultScale = 2.0
 
-// DefaultOptions returns full-fidelity settings.
+// DefaultOptions returns full-fidelity settings with a fresh
+// in-memory simulation memo.
 func DefaultOptions() Options {
-	return Options{Scale: DefaultScale, Cfg: config.Default(), Mixes: workload.PaperPairs()}
+	return Options{Scale: DefaultScale, Cfg: config.Default(), Mixes: workload.PaperPairs(), Runner: NewMemo()}
 }
 
 // TestOptions returns a fast, scaled-down variant for tests and
@@ -65,6 +73,13 @@ func (o Options) workers() int {
 	return runtime.NumCPU()
 }
 
+func (o Options) runner() Runner {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return directRunner{}
+}
+
 type cell struct {
 	kind platform.Kind
 	mix  workload.Mix
@@ -72,8 +87,9 @@ type cell struct {
 
 // runMatrix simulates every (kind, mix) combination in parallel and
 // returns results keyed by kind and mix name. Cells go through the
-// process-wide memo (cache.go), so a cell another figure already
-// simulated is free and concurrent duplicates coalesce. On the first
+// Options' runner (cache.go), so a cell another figure already
+// simulated under the same runner is free and concurrent duplicates
+// coalesce. On the first
 // failing cell the matrix stops spawning new work: already-running
 // simulations drain (they are not interruptible mid-run and their
 // results stay valid in the memo), but no fresh cell starts once
@@ -118,7 +134,7 @@ spawn:
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			r, err := cachedRun(c.kind, c.mix, o.Scale, o.Cfg)
+			r, err := o.runner().Run(c.kind, c.mix, o.Scale, o.Cfg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -142,5 +158,5 @@ func runOne(o Options, k platform.Kind, mixName string) (platform.Result, error)
 	if err != nil {
 		return platform.Result{}, err
 	}
-	return cachedRun(k, m, o.Scale, o.Cfg)
+	return o.runner().Run(k, m, o.Scale, o.Cfg)
 }

@@ -236,8 +236,7 @@ func TestAblationConsolidation(t *testing.T) {
 // and still come back labeled with the name it was asked under.
 func TestMixAliasesShareSimulations(t *testing.T) {
 	o := TestOptions()
-	o.Scale = 0.023 // unique key-space for this test
-	sims0, _ := CacheStats()
+	o.Scale = 0.023
 	r1, err := runOne(o, platform.ZnG, "bfs1-gaus")
 	if err != nil {
 		t.Fatal(err)
@@ -246,9 +245,8 @@ func TestMixAliasesShareSimulations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sims, _ := CacheStats()
-	if got := sims - sims0; got != 1 {
-		t.Errorf("aliasing scenarios performed %d simulations, want 1", got)
+	if st := o.Runner.(*Memo).Stats(); st.Sims != 1 {
+		t.Errorf("aliasing scenarios performed %d simulations, want 1", st.Sims)
 	}
 	if r1.IPC != r2.IPC || r1.Cycles != r2.Cycles {
 		t.Errorf("aliased results differ: %+v vs %+v", r1, r2)

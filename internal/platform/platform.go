@@ -19,6 +19,7 @@ package platform
 
 import (
 	"fmt"
+	"strings"
 
 	"zng/internal/cache"
 	"zng/internal/config"
@@ -46,6 +47,35 @@ const (
 // order.
 func Kinds() []Kind {
 	return []Kind{Hetero, HybridGPU, Optane, ZnGBase, ZnGRdopt, ZnGWropt, ZnG}
+}
+
+// AllKinds lists every buildable platform: the GDDR5 reference first,
+// then the seven evaluated platforms in legend order. The CLIs and
+// the zngd API derive their -platform vocabularies from this, so a
+// new platform shows up everywhere without touching those layers.
+func AllKinds() []Kind {
+	return append([]Kind{GDDR5}, Kinds()...)
+}
+
+// KindNames lists the AllKinds vocabulary as strings.
+func KindNames() []string {
+	kinds := AllKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return names
+}
+
+// KindByName resolves a platform by its String form, failing fast
+// with the full vocabulary on an unknown name.
+func KindByName(name string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("platform: unknown platform %q (valid: %s)", name, strings.Join(KindNames(), ", "))
 }
 
 // String implements fmt.Stringer.

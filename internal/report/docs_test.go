@@ -26,10 +26,10 @@ func TestExperimentsDocDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Drop the simulation memo so the second render re-simulates from
-	// scratch; without this the byte-equality would only test the
+	// Swap in a fresh simulation memo so the second render re-simulates
+	// from scratch; without this the byte-equality would only test the
 	// composer, not the simulator's determinism.
-	experiments.ResetCache()
+	o.Runner = experiments.NewMemo()
 	b, dsB, err := Experiments(o)
 	if err != nil {
 		t.Fatal(err)
@@ -87,6 +87,7 @@ func TestDesignDocContent(t *testing.T) {
 		"## MMU, caches and the ZnG optimizations",
 		"## Platforms",
 		"## Experiments and reporting",
+		"## Serving: result store and simulation service",
 		"## Figure and ablation inventory (generated)",
 		"GENERATED FILE",
 	} {

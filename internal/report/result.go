@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"zng/internal/platform"
+	"zng/internal/sim"
+)
+
+// resultJSON mirrors platform.Result with a declaration-fixed key
+// order and the Kind spelled as its String form, so the document is
+// both human-inspectable in a cache directory and byte-deterministic:
+// struct fields marshal in order, the Extra map marshals with sorted
+// keys, and Go's float formatting is canonical. The persistent result
+// store (internal/store) relies on that determinism for its
+// disk-equals-fresh guarantee.
+type resultJSON struct {
+	Kind           string             `json:"kind"`
+	Workload       string             `json:"workload"`
+	IPC            float64            `json:"ipc"`
+	Cycles         int64              `json:"cycles"`
+	Insts          uint64             `json:"insts"`
+	FlashReadGBps  float64            `json:"flash_read_gbps"`
+	FlashWriteGBps float64            `json:"flash_write_gbps"`
+	PlaneWrites    []uint64           `json:"plane_writes,omitempty"`
+	L2HitRate      float64            `json:"l2_hit_rate"`
+	TLBHitRate     float64            `json:"tlb_hit_rate"`
+	Extra          map[string]float64 `json:"extra,omitempty"`
+}
+
+// EncodeResult renders one simulation result as an indented JSON
+// document with a trailing newline. Encoding the same Result always
+// yields the same bytes.
+func EncodeResult(r platform.Result) []byte {
+	out, err := json.MarshalIndent(resultJSON{
+		Kind:           r.Kind.String(),
+		Workload:       r.Workload,
+		IPC:            r.IPC,
+		Cycles:         int64(r.Cycles),
+		Insts:          r.Insts,
+		FlashReadGBps:  r.FlashReadGBps,
+		FlashWriteGBps: r.FlashWriteGBps,
+		PlaneWrites:    r.PlaneWrites,
+		L2HitRate:      r.L2HitRate,
+		TLBHitRate:     r.TLBHitRate,
+		Extra:          r.Extra,
+	}, "", "  ")
+	if err != nil {
+		// Numbers, strings and slices of them cannot fail to marshal.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// DecodeResult parses an EncodeResult document back into a
+// platform.Result. Any malformation — truncated file, invalid JSON,
+// unknown platform name — is an error; callers holding cached bytes
+// treat it as a miss and re-simulate.
+func DecodeResult(b []byte) (platform.Result, error) {
+	var doc resultJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return platform.Result{}, fmt.Errorf("report: decoding result: %w", err)
+	}
+	kind, err := platform.KindByName(doc.Kind)
+	if err != nil {
+		return platform.Result{}, fmt.Errorf("report: decoding result: %w", err)
+	}
+	return platform.Result{
+		Kind:           kind,
+		Workload:       doc.Workload,
+		IPC:            doc.IPC,
+		Cycles:         sim.Tick(doc.Cycles),
+		Insts:          doc.Insts,
+		FlashReadGBps:  doc.FlashReadGBps,
+		FlashWriteGBps: doc.FlashWriteGBps,
+		PlaneWrites:    doc.PlaneWrites,
+		L2HitRate:      doc.L2HitRate,
+		TLBHitRate:     doc.TLBHitRate,
+		Extra:          doc.Extra,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"zng/internal/platform"
+)
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	want := platform.Result{
+		Kind:           platform.ZnGRdopt,
+		Workload:       "bfs1-gaus",
+		IPC:            1.234567,
+		Cycles:         42_000_000,
+		Insts:          51_800_000,
+		FlashReadGBps:  33.3,
+		FlashWriteGBps: 4.75,
+		PlaneWrites:    []uint64{1, 0, 9},
+		L2HitRate:      0.5,
+		TLBHitRate:     0.96875,
+		Extra:          map[string]float64{"prefetch_kb": 2048, "reg_migrations": 3},
+	}
+	got, err := DecodeResult(EncodeResult(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResultCodecDeterministic: identical results must encode to
+// identical bytes — the property the store's disk-equals-fresh
+// guarantee and the determinism test in simsvc stand on. The Extra
+// map is the risky part (map iteration is random); encoding/json
+// sorts its keys.
+func TestResultCodecDeterministic(t *testing.T) {
+	mk := func() platform.Result {
+		return platform.Result{
+			Kind:     platform.ZnG,
+			Workload: "betw-back",
+			IPC:      2.5,
+			Extra: map[string]float64{
+				"e": 5, "d": 4, "c": 3, "b": 2, "a": 1,
+			},
+		}
+	}
+	a := EncodeResult(mk())
+	for i := 0; i < 16; i++ {
+		if b := EncodeResult(mk()); !bytes.Equal(a, b) {
+			t.Fatalf("encoding not deterministic:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+func TestResultCodecRejectsMalformed(t *testing.T) {
+	for name, in := range map[string][]byte{
+		"truncated":    []byte(`{"kind":"ZnG","ipc":`),
+		"unknown kind": []byte(`{"kind":"PDP-11","ipc":1}`),
+		"non-object":   []byte(`"hi"`),
+		"empty":        {},
+	} {
+		if _, err := DecodeResult(in); err == nil {
+			t.Errorf("%s input decoded without error", name)
+		}
+	}
+}
+
+// TestResultCodecEmptyFieldsStable: a fresh DRAM-platform result (nil
+// PlaneWrites, empty Extra) and its decoded round-trip must encode to
+// the same bytes even though nil-vs-empty differ in memory — the
+// omitempty contract the byte-for-byte disk comparison relies on.
+func TestResultCodecEmptyFieldsStable(t *testing.T) {
+	fresh := platform.Result{Kind: platform.GDDR5, Workload: "solo-pr", IPC: 3, Extra: map[string]float64{}}
+	a := EncodeResult(fresh)
+	rt, err := DecodeResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := EncodeResult(rt); !bytes.Equal(a, b) {
+		t.Errorf("re-encoding a round-tripped result changed bytes:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,244 @@
+package simsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/report"
+	"zng/internal/workload"
+)
+
+// runRequest is the POST /v1/run body. Exactly one of Mix (a
+// registered scenario name) or Apps (zngsim's ad-hoc composition
+// syntax, e.g. "bfs1,gaus*1.5") selects the workload.
+type runRequest struct {
+	Platform string  `json:"platform"`
+	Mix      string  `json:"mix,omitempty"`
+	Apps     string  `json:"apps,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	// Async returns 202 with the job immediately instead of waiting
+	// for the result; poll GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+}
+
+// runResponse is the POST /v1/run reply. Result is the
+// report.EncodeResult document and is absent on async submissions
+// and failures.
+type runResponse struct {
+	Job    JobInfo         `json:"job"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// scenarioInfo is one GET /v1/scenarios row.
+type scenarioInfo struct {
+	Name   string `json:"name"`
+	MixID  string `json:"mix"`
+	Degree int    `json:"degree"`
+}
+
+// NewHandler builds the zngd HTTP JSON API over one service. cfg is
+// the simulation configuration every request runs under (the daemon
+// passes Table I defaults); requests choose platform, workload, scale
+// and priority.
+//
+//	POST /v1/run        run (or enqueue) one simulation cell
+//	GET  /v1/jobs       list jobs in submission order
+//	GET  /v1/jobs/{id}  one job's status
+//	GET  /v1/scenarios  the workload scenario registry
+//	GET  /v1/platforms  the platform vocabulary
+//	GET  /healthz       liveness
+//	GET  /metrics       expvar-style counters
+func NewHandler(svc *Service, cfg config.Config) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req runRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		kind, err := platform.KindByName(req.Platform)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		var mix workload.Mix
+		switch {
+		case req.Apps != "" && req.Mix != "":
+			writeErr(w, http.StatusBadRequest, errors.New(`"mix" and "apps" are mutually exclusive`))
+			return
+		case req.Apps != "":
+			mix, err = workload.ParseApps(req.Apps)
+		case req.Mix != "":
+			mix, err = workload.MixByName(req.Mix)
+		default:
+			err = errors.New(`one of "mix" or "apps" is required`)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		scale := req.Scale
+		if scale == 0 {
+			scale = experiments.DefaultScale
+		}
+		if scale < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("scale must be positive, got %v", scale))
+			return
+		}
+		id, err := svc.Submit(Request{Kind: kind, Mix: mix, Scale: scale, Cfg: cfg, Priority: req.Priority})
+		if err != nil {
+			// Only shutdown rejects a well-formed submission.
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		if req.Async {
+			job, _ := svc.Job(id)
+			writeJSON(w, http.StatusAccepted, runResponse{Job: job})
+			return
+		}
+		res, err := svc.Await(id)
+		job, _ := svc.Job(id)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, struct {
+				Error string  `json:"error"`
+				Job   JobInfo `json:"job"`
+			}{err.Error(), job})
+			return
+		}
+		res.Workload = mix.Name
+		writeJSON(w, http.StatusOK, runResponse{Job: job, Result: report.EncodeResult(res)})
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []JobInfo `json:"jobs"`
+		}{svc.Jobs()})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		job, ok := svc.Job(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		// A completed job carries its result, so an async submitter can
+		// poll this endpoint to done and collect the document in one
+		// round trip (Await on a done job returns immediately). The
+		// result is relabeled to the job's workload, matching the sync
+		// run path — a disk-served cell may carry the label of whoever
+		// first computed it, possibly an aliasing scenario.
+		resp := runResponse{Job: job}
+		if job.State == StateDone {
+			if res, err := svc.Await(id); err == nil {
+				if job.Workload != "" {
+					res.Workload = job.Workload
+				}
+				resp.Result = report.EncodeResult(res)
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		scenarios := workload.Scenarios()
+		out := make([]scenarioInfo, len(scenarios))
+		for i, m := range scenarios {
+			out[i] = scenarioInfo{Name: m.Name, MixID: m.ID(), Degree: m.Degree()}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Scenarios []scenarioInfo `json:"scenarios"`
+		}{out})
+	})
+
+	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Platforms []string `json:"platforms"`
+		}{platform.KindNames()})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ok"})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metrics(svc))
+	})
+
+	return mux
+}
+
+// metricsDoc is the /metrics document: the runner counters plus job
+// and store gauges, flat like an expvar page so scrapers stay simple.
+type metricsDoc struct {
+	Sims         uint64 `json:"sims"`
+	MemoryHits   uint64 `json:"memory_hits"`
+	DiskHits     uint64 `json:"disk_hits"`
+	Coalesced    uint64 `json:"coalesced"`
+	JobsTotal    int    `json:"jobs_total"`
+	JobsQueued   int    `json:"jobs_queued"`
+	JobsRunning  int    `json:"jobs_running"`
+	JobsDone     int    `json:"jobs_done"`
+	JobsError    int    `json:"jobs_error"`
+	StoreEntries int    `json:"store_entries"`
+}
+
+func metrics(svc *Service) metricsDoc {
+	st := svc.Stats()
+	doc := metricsDoc{
+		Sims:       st.Sims,
+		MemoryHits: st.MemoryHits,
+		DiskHits:   st.DiskHits,
+		Coalesced:  st.Coalesced,
+	}
+	for _, j := range svc.Jobs() {
+		doc.JobsTotal++
+		switch j.State {
+		case StateQueued:
+			doc.JobsQueued++
+		case StateRunning:
+			doc.JobsRunning++
+		case StateDone:
+			doc.JobsDone++
+		case StateError:
+			doc.JobsError++
+		}
+	}
+	if s := svc.Store(); s != nil {
+		if n, err := s.Entries(); err == nil {
+			doc.StoreEntries = n
+		}
+	}
+	return doc
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is gone; an encoding failure can only be a dead
+	// client, which has already stopped caring.
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

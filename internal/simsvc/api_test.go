@@ -1,0 +1,293 @@
+package simsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+// newTestServer boots the API over a stub simulator.
+func newTestServer(t *testing.T, sim SimFunc) (*httptest.Server, *Service) {
+	t.Helper()
+	svc := New(Config{Workers: 2, Simulate: sim})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(NewHandler(svc, config.Default()))
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func fixedSim(ipc float64) SimFunc {
+	return func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: ipc, Cycles: 1000, Insts: 500}, nil
+	}
+}
+
+// postRun issues a POST /v1/run and decodes the reply envelope.
+func postRun(t *testing.T, url string, body string) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("undecodable reply: %v", err)
+	}
+	return resp, doc
+}
+
+func TestAPIRunSync(t *testing.T) {
+	srv, svc := newTestServer(t, fixedSim(3.25))
+	resp, doc := postRun(t, srv.URL, `{"platform":"ZnG","mix":"betw-back","scale":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (%s)", resp.StatusCode, doc["error"])
+	}
+	var result struct {
+		Workload string  `json:"workload"`
+		IPC      float64 `json:"ipc"`
+		Kind     string  `json:"kind"`
+	}
+	if err := json.Unmarshal(doc["result"], &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.IPC != 3.25 || result.Workload != "betw-back" || result.Kind != "ZnG" {
+		t.Errorf("result = %+v", result)
+	}
+	var job JobInfo
+	if err := json.Unmarshal(doc["job"], &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone || job.Source != "sim" {
+		t.Errorf("job = %+v, want done from sim", job)
+	}
+	if st := svc.Stats(); st.Sims != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAPIRunValidation(t *testing.T) {
+	srv, _ := newTestServer(t, fixedSim(1))
+	for name, body := range map[string]string{
+		"unknown platform": `{"platform":"GTX9000","mix":"betw-back"}`,
+		"unknown mix":      `{"platform":"ZnG","mix":"no-such-mix"}`,
+		"unknown app":      `{"platform":"ZnG","apps":"nope,gaus"}`,
+		"both selectors":   `{"platform":"ZnG","mix":"betw-back","apps":"bfs1"}`,
+		"no selector":      `{"platform":"ZnG"}`,
+		"negative scale":   `{"platform":"ZnG","mix":"betw-back","scale":-1}`,
+		"unknown field":    `{"platform":"ZnG","mix":"betw-back","scalee":2}`,
+		"malformed json":   `{"platform":`,
+	} {
+		resp, doc := postRun(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+		if len(doc["error"]) == 0 {
+			t.Errorf("%s: reply carries no error", name)
+		}
+	}
+}
+
+func TestAPIRunAdhocApps(t *testing.T) {
+	srv, _ := newTestServer(t, fixedSim(2))
+	resp, doc := postRun(t, srv.URL, `{"platform":"HybridGPU","apps":"bfs1,gaus*1.5","scale":0.5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	var result struct {
+		Workload string `json:"workload"`
+	}
+	if err := json.Unmarshal(doc["result"], &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Workload != "bfs1+gaus*1.5" {
+		t.Errorf("ad-hoc workload label = %q", result.Workload)
+	}
+}
+
+func TestAPIAsyncAndJobStatus(t *testing.T) {
+	gate := make(chan struct{})
+	srv, _ := newTestServer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		<-gate
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 9}, nil
+	})
+	resp, doc := postRun(t, srv.URL, `{"platform":"ZnG","mix":"pr-gaus","scale":0.5,"async":true,"priority":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async status = %d, want 202", resp.StatusCode)
+	}
+	if len(doc["result"]) != 0 {
+		t.Error("async reply must not carry a result")
+	}
+	var job JobInfo
+	if err := json.Unmarshal(doc["job"], &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Priority != 3 {
+		t.Errorf("async job = %+v", job)
+	}
+	close(gate)
+
+	// Poll to done, then collect the result document from the same
+	// endpoint — the whole point of an async submission.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Job    JobInfo         `json:"job"`
+			Result json.RawMessage `json:"result"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&envelope)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if envelope.Job.State == StateDone {
+			var result struct {
+				IPC float64 `json:"ipc"`
+			}
+			if err := json.Unmarshal(envelope.Result, &result); err != nil {
+				t.Fatalf("done job carries no decodable result: %v", err)
+			}
+			if result.IPC != 9 {
+				t.Errorf("polled result IPC = %v, want 9", result.IPC)
+			}
+			break
+		}
+		if len(envelope.Result) != 0 {
+			t.Errorf("unfinished job (state %q) must not carry a result", envelope.Job.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", envelope.Job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if r, err := http.Get(srv.URL + "/v1/jobs/job-999"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job status = %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+// getJSON decodes one GET endpoint.
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+	return r.StatusCode
+}
+
+func TestAPIListEndpoints(t *testing.T) {
+	srv, _ := newTestServer(t, fixedSim(1))
+
+	var scen struct {
+		Scenarios []scenarioInfo `json:"scenarios"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/scenarios", &scen); code != http.StatusOK {
+		t.Fatalf("scenarios status %d", code)
+	}
+	if len(scen.Scenarios) != len(workload.Scenarios()) {
+		t.Errorf("scenarios = %d, registry has %d", len(scen.Scenarios), len(workload.Scenarios()))
+	}
+	found := false
+	for _, s := range scen.Scenarios {
+		if s.Name == "betw-back" && s.Degree == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("scenario list missing betw-back")
+	}
+
+	var plats struct {
+		Platforms []string `json:"platforms"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/platforms", &plats); code != http.StatusOK {
+		t.Fatalf("platforms status %d", code)
+	}
+	if fmt.Sprint(plats.Platforms) != fmt.Sprint(platform.KindNames()) {
+		t.Errorf("platforms = %v, want %v", plats.Platforms, platform.KindNames())
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, srv.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz = %d %q", code, health.Status)
+	}
+}
+
+func TestAPIJobsListAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t, fixedSim(1))
+	if resp, doc := postRun(t, srv.URL, `{"platform":"ZnG","mix":"betw-back","scale":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run failed: %s", doc["error"])
+	}
+	// An identical re-run is a memory hit on the same job.
+	if resp, doc := postRun(t, srv.URL, `{"platform":"ZnG","mix":"betw-back","scale":0.5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rerun failed: %s", doc["error"])
+	}
+
+	var jobs struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/jobs", &jobs); code != http.StatusOK {
+		t.Fatalf("jobs status %d", code)
+	}
+	if len(jobs.Jobs) != 1 {
+		t.Fatalf("jobs = %+v, want the coalesced single job", jobs.Jobs)
+	}
+
+	var m metricsDoc
+	if code := getJSON(t, srv.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Sims != 1 || m.MemoryHits != 1 || m.JobsDone != 1 || m.JobsTotal != 1 {
+		t.Errorf("metrics = %+v, want 1 sim, 1 memory hit, 1 done job", m)
+	}
+}
+
+// TestAPIRunRealSimulation exercises the full stack once — HTTP in,
+// real simulator, encoded result out — at test scale, pinning the CI
+// smoke contract (200 with a non-empty IPC) in-process.
+func TestAPIRunRealSimulation(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	t.Cleanup(svc.Close)
+	o := experiments.TestOptions()
+	srv := httptest.NewServer(NewHandler(svc, o.Cfg))
+	t.Cleanup(srv.Close)
+
+	resp, doc := postRun(t, srv.URL, fmt.Sprintf(`{"platform":"GDDR5","mix":"solo-bfs1","scale":%g}`, o.Scale))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	var result struct {
+		IPC float64 `json:"ipc"`
+	}
+	if err := json.Unmarshal(doc["result"], &result); err != nil {
+		t.Fatal(err)
+	}
+	if result.IPC <= 0 {
+		t.Errorf("real simulation IPC = %v, want positive", result.IPC)
+	}
+}

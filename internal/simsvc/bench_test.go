@@ -1,0 +1,48 @@
+package simsvc
+
+import (
+	"testing"
+
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/store"
+)
+
+// BenchmarkServiceThroughput measures end-to-end request throughput
+// against a warmed store at TestOptions scale: every request pays the
+// full serving path — content-address hashing, submit, job lookup,
+// result relabel — and is satisfied without simulating. This is the
+// baseline trajectory for future scaling work (sharding, batching,
+// multi-node): the serving overhead a hit costs, as requests/sec.
+func BenchmarkServiceThroughput(b *testing.B) {
+	o := experiments.TestOptions()
+	mix := o.Mixes[0]
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := New(Config{Store: st})
+	defer svc.Close()
+	// Warm: one real simulation lands the cell in memory and on disk.
+	if _, err := svc.Run(platform.GDDR5, mix, o.Scale, o.Cfg); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r, err := svc.Run(platform.GDDR5, mix, o.Scale, o.Cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.IPC <= 0 {
+				b.Fatal("served result lost its IPC")
+			}
+		}
+	})
+	b.StopTimer()
+	if st := svc.Stats(); st.Sims != 1 {
+		b.Fatalf("benchmark simulated %d times, want the single warmup", st.Sims)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -1,0 +1,395 @@
+// Package simsvc turns the simulator into a service: a job scheduler
+// that fronts the persistent result store (internal/store) with a
+// bounded worker pool, a FIFO-with-priority queue and cross-request
+// coalescing, so that N concurrent requests for the same simulation
+// cell cost exactly one simulation and a cell computed by any past
+// process is served from disk without simulating at all.
+//
+// The service implements the experiments.Runner interface, so the
+// figure drivers, the CLIs (-cache) and the zngd daemon all share
+// this one code path; what used to be a process-wide memo global in
+// internal/experiments is now an injectable runner. Request flow:
+//
+//	memory (completed cell)      -> MemoryHits
+//	identical cell in flight     -> Coalesced (attach, no new job)
+//	persistent store             -> DiskHits  (worker reads, no sim)
+//	otherwise                    -> Sims      (worker simulates, then
+//	                                           writes through to disk)
+//
+// Every admitted cell is one Job with an observable lifecycle
+// (queued, running, done, error) — the unit the zngd HTTP API
+// (api.go) exposes.
+//
+// Known scaling limit: jobs (and their in-memory results) are
+// retained for the service's lifetime — that is what makes the
+// memory layer a memo and job status durable — so a very long-lived
+// daemon over an unbounded request vocabulary grows without bound.
+// Bounded retention/eviction (safe here: the store can re-serve
+// evicted cells from disk) is deliberately left to the next scaling
+// PR; see ROADMAP.md.
+package simsvc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/store"
+	"zng/internal/workload"
+)
+
+// ErrClosed is returned by Submit after Close, and by Await for jobs
+// that were still queued when the service shut down.
+var ErrClosed = errors.New("simsvc: service closed")
+
+// SimFunc computes one cell. The default is platform.RunMix; tests
+// inject stubs to pin scheduling behavior without paying for
+// simulations.
+type SimFunc func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Store is the persistent read-through/write-through layer; nil
+	// runs memory-only (still coalescing, still counting).
+	Store *store.Store
+	// Workers bounds concurrent simulations (0 = NumCPU).
+	Workers int
+	// Simulate overrides the simulation function (nil = platform.RunMix).
+	Simulate SimFunc
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateError   State = "error"
+)
+
+// Request identifies one simulation cell plus its scheduling
+// priority. Higher priorities run first; equal priorities run in
+// submission order.
+type Request struct {
+	Kind     platform.Kind
+	Mix      workload.Mix
+	Scale    float64
+	Cfg      config.Config
+	Priority int
+}
+
+// JobInfo is the externally visible snapshot of one job, shaped for
+// the zngd JSON API.
+type JobInfo struct {
+	ID       string  `json:"id"`
+	State    State   `json:"state"`
+	Platform string  `json:"platform"`
+	Workload string  `json:"workload"`
+	MixID    string  `json:"mix"`
+	Scale    float64 `json:"scale"`
+	Priority int     `json:"priority"`
+	// Waiters counts the extra requests that coalesced onto this job.
+	Waiters int `json:"waiters"`
+	// Source records how the job was satisfied: "sim" or "disk"
+	// (empty until it finishes).
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// job is one admitted cell. res and err are written exactly once,
+// before done is closed, so readers that have observed the close may
+// read them without the service lock.
+type job struct {
+	id      string
+	seq     uint64
+	idx     int // position in the pending heap; -1 once popped
+	req     Request
+	key     string
+	state   State
+	source  string
+	waiters int
+	done    chan struct{}
+	res     platform.Result
+	err     error
+}
+
+func (j *job) info() JobInfo {
+	info := JobInfo{
+		ID:       j.id,
+		State:    j.state,
+		Platform: j.req.Kind.String(),
+		Workload: j.req.Mix.Name,
+		MixID:    j.req.Mix.ID(),
+		Scale:    j.req.Scale,
+		Priority: j.req.Priority,
+		Waiters:  j.waiters,
+		Source:   j.source,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	return info
+}
+
+// Service is the coalescing scheduler. Safe for concurrent use.
+type Service struct {
+	st  *store.Store
+	sim SimFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond // queue became non-empty, or the service closed
+	queue  jobQueue
+	cells  map[string]*job // cell key -> owning job (completed cells stay: the memory layer)
+	jobs   map[string]*job // job id -> job
+	order  []*job          // submission order, for listing
+	nextID uint64
+	stats  experiments.RunnerStats
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers worker goroutines. Close it
+// to drain.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.Simulate == nil {
+		cfg.Simulate = platform.RunMix
+	}
+	s := &Service{
+		st:    cfg.Store,
+		sim:   cfg.Simulate,
+		cells: map[string]*job{},
+		jobs:  map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits a request and returns the id of the job that will
+// satisfy it — an existing one when the cell is already completed in
+// memory (a memory hit) or in flight (a coalesced attach), a fresh
+// queued one otherwise. Submit never blocks on simulation work.
+func (s *Service) Submit(req Request) (string, error) {
+	key := store.CellKey(req.Kind, req.Mix.ID(), req.Scale, req.Cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if j, ok := s.cells[key]; ok {
+		select {
+		case <-j.done:
+			s.stats.MemoryHits++
+		default:
+			s.stats.Coalesced++
+			j.waiters++
+			// A higher-priority attach promotes a still-queued job,
+			// otherwise the new request would silently inherit the old
+			// queue position — priority inversion.
+			if j.state == StateQueued && req.Priority > j.req.Priority {
+				j.req.Priority = req.Priority
+				heap.Fix(&s.queue, j.idx)
+			}
+		}
+		return j.id, nil
+	}
+	s.nextID++
+	j := &job{
+		id:    fmt.Sprintf("job-%d", s.nextID),
+		seq:   s.nextID,
+		req:   req,
+		key:   key,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	s.cells[key] = j
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	heap.Push(&s.queue, j)
+	s.cond.Signal()
+	return j.id, nil
+}
+
+// Await blocks until the job finishes and returns its result. The
+// result's Workload label is whatever the job's first submitter asked
+// for; Do relabels per caller.
+func (s *Service) Await(id string) (platform.Result, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return platform.Result{}, fmt.Errorf("simsvc: unknown job %q", id)
+	}
+	<-j.done
+	return j.res, j.err
+}
+
+// Do is the synchronous request path: submit, wait, and relabel the
+// result with the name the caller asked under (aliasing scenarios
+// share cells but keep their own labels, matching the experiments
+// memo's contract).
+func (s *Service) Do(req Request) (platform.Result, error) {
+	id, err := s.Submit(req)
+	if err != nil {
+		return platform.Result{}, err
+	}
+	res, err := s.Await(id)
+	if err == nil && req.Mix.Name != "" {
+		res.Workload = req.Mix.Name
+	}
+	return res, err
+}
+
+// Run implements experiments.Runner at default priority — the single
+// code path the figure drivers, CLIs and daemon share.
+func (s *Service) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return s.Do(Request{Kind: kind, Mix: mix, Scale: scale, Cfg: cfg})
+}
+
+// Job snapshots one job by id.
+func (s *Service) Job(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info(), true
+}
+
+// Jobs snapshots every job in submission order.
+func (s *Service) Jobs() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, len(s.order))
+	for i, j := range s.order {
+		out[i] = j.info()
+	}
+	return out
+}
+
+// Stats implements experiments.StatsReporter.
+func (s *Service) Stats() experiments.RunnerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Store exposes the persistent layer (nil when memory-only).
+func (s *Service) Store() *store.Store { return s.st }
+
+// Close shuts the service down gracefully: new submissions are
+// rejected, running simulations drain to completion (their results
+// still land in the store), and jobs still queued fail with ErrClosed
+// so their waiters unblock. Close returns once every worker has
+// exited; it is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for _, j := range s.queue {
+			j.err = ErrClosed
+			j.state = StateError
+			close(j.done)
+		}
+		s.queue = nil
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker pops jobs in priority-then-FIFO order, satisfying each from
+// the persistent store when possible and simulating otherwise.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		j.state = StateRunning
+		s.mu.Unlock()
+
+		if s.st != nil {
+			if r, ok := s.st.Get(j.key); ok {
+				s.finish(j, r, nil, "disk")
+				continue
+			}
+		}
+		r, err := s.sim(j.req.Kind, j.req.Mix, j.req.Scale, j.req.Cfg)
+		if err == nil && s.st != nil {
+			// A failed write-through only costs a future re-simulation;
+			// the in-memory result this job now carries stays valid.
+			_ = s.st.Put(j.key, r)
+		}
+		s.finish(j, r, err, "sim")
+	}
+}
+
+// finish publishes a job's outcome and wakes its waiters.
+func (s *Service) finish(j *job, r platform.Result, err error, source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.res, j.err = r, err
+	j.source = source
+	if err != nil {
+		j.state = StateError
+	} else {
+		j.state = StateDone
+	}
+	switch source {
+	case "disk":
+		s.stats.DiskHits++
+	case "sim":
+		s.stats.Sims++
+	}
+	close(j.done)
+}
+
+// jobQueue is the pending-job heap: highest priority first, FIFO
+// (submission sequence) within a priority.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].req.Priority != q[b].req.Priority {
+		return q[a].req.Priority > q[b].req.Priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int) {
+	q[a], q[b] = q[b], q[a]
+	q[a].idx, q[b].idx = a, b
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.idx = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	j.idx = -1
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}

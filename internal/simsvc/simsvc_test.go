@@ -1,0 +1,483 @@
+package simsvc
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/report"
+	"zng/internal/store"
+	"zng/internal/workload"
+)
+
+// testMix resolves a registered scenario or fails the test.
+func testMix(t testing.TB, name string) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// stubSim returns a canned result and counts invocations; the gate
+// (when non-nil) blocks every invocation until released, letting
+// tests pile requests onto an in-flight cell deterministically, and
+// started (when non-nil) receives before the gate so tests can wait
+// for a simulation to be in flight without spinning.
+type stubSim struct {
+	mu      sync.Mutex
+	calls   int
+	gate    chan struct{}
+	started chan struct{}
+	res     platform.Result
+	err     error
+}
+
+func (s *stubSim) fn(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	s.mu.Lock()
+	s.calls++
+	gate, started := s.gate, s.started
+	s.mu.Unlock()
+	if started != nil {
+		started <- struct{}{}
+	}
+	if gate != nil {
+		<-gate
+	}
+	r := s.res
+	r.Kind = kind
+	r.Workload = mix.Name
+	return r, s.err
+}
+
+func (s *stubSim) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// TestCoalescing is the tentpole property: K concurrent identical
+// requests perform exactly one simulation, asserted via the service
+// counters — the same counters the zngd /metrics endpoint serves.
+func TestCoalescing(t *testing.T) {
+	sim := &stubSim{gate: make(chan struct{}), started: make(chan struct{}, 1), res: platform.Result{IPC: 2.5}}
+	svc := New(Config{Workers: 2, Simulate: sim.fn})
+	defer svc.Close()
+
+	req := Request{Kind: platform.ZnG, Mix: testMix(t, "betw-back"), Scale: 0.5, Cfg: config.Default()}
+	const callers = 16
+	ids := make([]string, callers)
+	results := make([]platform.Result, callers)
+	errs := make([]error, callers)
+
+	// Admit the first request and wait until its simulation is in
+	// flight, so every later submit must attach to it.
+	id0, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sim.started
+
+	var wg sync.WaitGroup
+	for i := 1; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[i], errs[i] = svc.Submit(req)
+			if errs[i] == nil {
+				results[i], errs[i] = svc.Await(ids[i])
+			}
+		}()
+	}
+	// Release the simulation once every request has attached.
+	for svc.Stats().Coalesced != callers-1 {
+		runtime.Gosched()
+	}
+	close(sim.gate)
+	results[0], errs[0] = svc.Await(id0)
+	ids[0] = id0
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if ids[i] != id0 {
+			t.Errorf("caller %d got job %s, want coalesced onto %s", i, ids[i], id0)
+		}
+		if results[i].IPC != 2.5 {
+			t.Errorf("caller %d IPC = %v", i, results[i].IPC)
+		}
+	}
+	if got := sim.count(); got != 1 {
+		t.Errorf("%d concurrent identical requests performed %d simulations, want exactly 1", callers, got)
+	}
+	st := svc.Stats()
+	if st.Sims != 1 || st.Coalesced != callers-1 || st.DiskHits != 0 {
+		t.Errorf("stats = %+v, want 1 sim, %d coalesced", st, callers-1)
+	}
+	job, ok := svc.Job(id0)
+	if !ok || job.State != StateDone || job.Waiters != callers-1 || job.Source != "sim" {
+		t.Errorf("job = %+v, want done with %d waiters from sim", job, callers-1)
+	}
+
+	// A late identical request is a pure memory hit on the completed
+	// cell — still no new simulation.
+	if _, err := svc.Run(req.Kind, req.Mix, req.Scale, req.Cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.Stats(); st.MemoryHits != 1 || st.Sims != 1 {
+		t.Errorf("post-completion stats = %+v, want 1 memory hit, 1 sim", st)
+	}
+}
+
+// TestDiskRoundTripAcrossRestart pins the acceptance criterion:
+// restarting the service over the same store directory serves a
+// previously computed cell from disk with zero new simulations.
+func TestDiskRoundTripAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim1 := &stubSim{res: platform.Result{IPC: 1.5, Extra: map[string]float64{"k": 9}}}
+	svc1 := New(Config{Store: st1, Workers: 1, Simulate: sim1.fn})
+	req := Request{Kind: platform.HybridGPU, Mix: testMix(t, "bfs1-gaus"), Scale: 0.25, Cfg: config.Default()}
+	r1, err := svc1.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	if sim1.count() != 1 {
+		t.Fatalf("first service simulated %d times, want 1", sim1.count())
+	}
+
+	// "Restart": a fresh service over the same directory, with a
+	// simulator that must never fire.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2 := &stubSim{err: errors.New("must not simulate")}
+	svc2 := New(Config{Store: st2, Workers: 1, Simulate: sim2.fn})
+	defer svc2.Close()
+	r2, err := svc2.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim2.count() != 0 {
+		t.Errorf("restarted service simulated %d times, want 0 (disk serve)", sim2.count())
+	}
+	stats := svc2.Stats()
+	if stats.DiskHits != 1 || stats.Sims != 0 {
+		t.Errorf("restarted stats = %+v, want exactly one disk hit", stats)
+	}
+	if r2.IPC != r1.IPC || r2.Extra["k"] != 9 {
+		t.Errorf("disk-served result %+v differs from original %+v", r2, r1)
+	}
+
+	// The aliasing contract survives the disk path too: consol-2 has
+	// the same content ID and must hit the same entry under its own
+	// label.
+	alias := req
+	alias.Mix = testMix(t, "consol-2")
+	r3, err := svc2.Do(alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Workload != "consol-2" {
+		t.Errorf("alias label = %q, want consol-2", r3.Workload)
+	}
+	if sim2.count() != 0 {
+		t.Error("alias request simulated; want shared cell")
+	}
+}
+
+// TestCorruptEntryFallsBackToSimulation: a torn store entry must not
+// poison the service — it re-simulates and heals the entry.
+func TestCorruptEntryFallsBackToSimulation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Kind: platform.ZnGBase, Mix: testMix(t, "pr-gaus"), Scale: 0.5, Cfg: config.Default()}
+	key := store.CellKey(req.Kind, req.Mix.ID(), req.Scale, req.Cfg)
+	if err := os.WriteFile(st.Path(key), []byte("{\"kind\":\"ZnG-base\",\"ipc\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sim := &stubSim{res: platform.Result{IPC: 4.5}}
+	svc := New(Config{Store: st, Workers: 1, Simulate: sim.fn})
+	r, err := svc.Do(req)
+	svc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.count() != 1 {
+		t.Errorf("corrupt entry should force one simulation, got %d", sim.count())
+	}
+	if r.IPC != 4.5 {
+		t.Errorf("IPC = %v, want the re-simulated 4.5", r.IPC)
+	}
+	if got, ok := st.Get(key); !ok || got.IPC != 4.5 {
+		t.Errorf("entry not healed: ok=%v, %+v", ok, got)
+	}
+}
+
+// TestPriorityOrdersQueue: with one busy worker, a higher-priority
+// job submitted later must run before an earlier lower-priority one.
+func TestPriorityOrdersQueue(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		order []string
+	)
+	gate := make(chan struct{})
+	sim := func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		if scale == 1 { // the gating job
+			<-gate
+		}
+		mu.Lock()
+		order = append(order, mix.Name)
+		mu.Unlock()
+		return platform.Result{IPC: 1}, nil
+	}
+	svc := New(Config{Workers: 1, Simulate: sim})
+	defer svc.Close()
+
+	cfg := config.Default()
+	gateID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 1, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the gating job occupies the only worker, so the next
+	// two jobs are truly queued.
+	for {
+		if j, _ := svc.Job(gateID); j.State == StateRunning {
+			break
+		}
+		runtime.Gosched()
+	}
+	lowID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-gaus"), Scale: 2, Cfg: cfg, Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	highID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-pr"), Scale: 2, Cfg: cfg, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	for _, id := range []string{gateID, lowID, highID} {
+		if _, err := svc.Await(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"solo-bfs1", "solo-pr", "solo-gaus"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (priority must preempt FIFO)", order, want)
+		}
+	}
+}
+
+// TestCoalescedAttachPromotesPriority: attaching a high-priority
+// request to a queued low-priority job must promote the job, not let
+// the request silently inherit the old queue position.
+func TestCoalescedAttachPromotesPriority(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		order []string
+	)
+	gate := make(chan struct{})
+	sim := func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		if scale == 1 { // the gating job
+			<-gate
+		}
+		mu.Lock()
+		order = append(order, mix.Name)
+		mu.Unlock()
+		return platform.Result{IPC: 1}, nil
+	}
+	svc := New(Config{Workers: 1, Simulate: sim})
+	defer svc.Close()
+
+	cfg := config.Default()
+	gateID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 1, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if j, _ := svc.Job(gateID); j.State == StateRunning {
+			break
+		}
+		runtime.Gosched()
+	}
+	// Queue cell X at priority 0, then cell Y at priority 5; a
+	// priority-9 attach to X must now run X before Y.
+	lowReq := Request{Kind: platform.ZnG, Mix: testMix(t, "solo-gaus"), Scale: 2, Cfg: cfg, Priority: 0}
+	lowID, err := svc.Submit(lowReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-pr"), Scale: 2, Cfg: cfg, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := lowReq
+	attach.Priority = 9
+	attachID, err := svc.Submit(attach)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attachID != lowID {
+		t.Fatalf("identical cell got its own job %s (want coalesced onto %s)", attachID, lowID)
+	}
+	if j, _ := svc.Job(lowID); j.Priority != 9 || j.Waiters != 1 {
+		t.Errorf("attached job = %+v, want promoted to priority 9 with 1 waiter", j)
+	}
+	close(gate)
+	for _, id := range []string{gateID, lowID, midID} {
+		if _, err := svc.Await(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"solo-bfs1", "solo-gaus", "solo-pr"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v (attach must promote)", order, want)
+		}
+	}
+}
+
+// TestCloseDrainsInFlightAndFailsQueued: graceful shutdown lets the
+// running simulation finish (its result is preserved) while queued
+// jobs and new submissions fail with ErrClosed.
+func TestCloseDrainsInFlightAndFailsQueued(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	sim := func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		once.Do(func() { close(started) })
+		<-gate
+		return platform.Result{IPC: 7}, nil
+	}
+	svc := New(Config{Workers: 1, Simulate: sim})
+	cfg := config.Default()
+	runningID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 1, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedID, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-gaus"), Scale: 1, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(closed)
+	}()
+	// The queued job fails promptly, even while the running one drains.
+	if _, err := svc.Await(queuedID); !errors.Is(err, ErrClosed) {
+		t.Errorf("queued job error = %v, want ErrClosed", err)
+	}
+	select {
+	case <-closed:
+		t.Fatal("Close returned before the in-flight simulation drained")
+	default:
+	}
+	close(gate)
+	<-closed
+	r, err := svc.Await(runningID)
+	if err != nil || r.IPC != 7 {
+		t.Errorf("drained job = %+v, %v; want IPC 7", r, err)
+	}
+	if _, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-pr"), Scale: 1, Cfg: cfg}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close submit error = %v, want ErrClosed", err)
+	}
+	svc.Close() // idempotent
+}
+
+// TestDiskServedEqualsFreshSimulation is the determinism satellite: a
+// result served from the persistent store must equal a freshly
+// simulated one byte-for-byte under the canonical result encoding.
+// This runs the real simulator at a small scale.
+func TestDiskServedEqualsFreshSimulation(t *testing.T) {
+	o := experiments.TestOptions()
+	mix := testMix(t, "solo-bfs1")
+	kind := platform.GDDR5
+
+	fresh, err := platform.RunMix(kind, mix, o.Scale, o.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := New(Config{Store: st1, Workers: 1})
+	if _, err := svc1.Run(kind, mix, o.Scale, o.Cfg); err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := New(Config{Store: st2, Workers: 1, Simulate: func(platform.Kind, workload.Mix, float64, config.Config) (platform.Result, error) {
+		return platform.Result{}, errors.New("must serve from disk")
+	}})
+	defer svc2.Close()
+	served, err := svc2.Run(kind, mix, o.Scale, o.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc2.Stats().DiskHits != 1 {
+		t.Fatalf("second service stats = %+v, want one disk hit", svc2.Stats())
+	}
+	if a, b := report.EncodeResult(fresh), report.EncodeResult(served); !bytes.Equal(a, b) {
+		t.Errorf("disk-served result differs from fresh simulation:\nfresh: %s\ndisk:  %s", a, b)
+	}
+}
+
+// TestServiceImplementsRunner pins the structural contract the whole
+// refactor hangs on: the service is a drop-in experiments runner.
+var _ experiments.Runner = (*Service)(nil)
+var _ experiments.StatsReporter = (*Service)(nil)
+
+// TestErrorsAreCachedInMemory: a deterministic failure is remembered
+// like a result — retrying the cell does not re-simulate.
+func TestErrorsAreCachedInMemory(t *testing.T) {
+	sim := &stubSim{err: errors.New("deadlock at tick 42")}
+	svc := New(Config{Workers: 1, Simulate: sim.fn})
+	defer svc.Close()
+	req := Request{Kind: platform.Hetero, Mix: testMix(t, "solo-bfs1"), Scale: 0.5, Cfg: config.Default()}
+	if _, err := svc.Do(req); err == nil {
+		t.Fatal("want simulation error")
+	}
+	if _, err := svc.Do(req); err == nil {
+		t.Fatal("want cached error")
+	}
+	if sim.count() != 1 {
+		t.Errorf("failing cell simulated %d times, want 1 (errors cache)", sim.count())
+	}
+	if st := svc.Stats(); st.MemoryHits != 1 {
+		t.Errorf("stats = %+v, want the retry counted as a memory hit", st)
+	}
+}

@@ -1,0 +1,151 @@
+// Package store is the persistent, content-addressed simulation
+// result store behind the simsvc scheduler and the CLIs' -cache flag.
+//
+// A simulation is a pure function of (platform kind, workload mix,
+// trace scale, configuration) — the property the in-memory memo in
+// internal/experiments already exploits — so its result can be
+// addressed by a stable hash of exactly those inputs and survive the
+// process: a figure suite, a CI run and a zngd daemon restart can all
+// serve each other's cells. Entries are one JSON document per cell
+// (the internal/report result emitter), written atomically via a
+// temp-file rename so a crashed writer can never publish a torn
+// entry; readers treat any undecodable entry as a miss and fall back
+// to re-simulation, so corruption degrades to wasted work, never to a
+// wrong answer.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/report"
+)
+
+// SchemaVersion stamps the key derivation. It participates in every
+// cell key, so bumping it — whenever the result encoding or the
+// meaning of any keyed input changes — invalidates all existing
+// entries at once instead of letting stale bytes decode into wrong
+// results.
+const SchemaVersion = 1
+
+// keyDoc is the canonically-encoded cell identity that gets hashed.
+// Struct fields marshal in declaration order and config.Config is a
+// flat value type (no maps, no pointers), so the encoding — and
+// therefore the key — is deterministic across processes.
+type keyDoc struct {
+	Schema int           `json:"schema"`
+	Kind   string        `json:"kind"`
+	Mix    string        `json:"mix"` // workload.Mix.ID(), the content identity
+	Scale  float64       `json:"scale"`
+	Cfg    config.Config `json:"cfg"`
+}
+
+// CellKey returns the content address of one simulation cell: the
+// hex SHA-256 of the canonical encoding of (schema version, kind,
+// mix ID, scale, full configuration). Mixes participate through
+// their ID rather than their display name, so aliasing scenarios
+// (consol-2 and bfs1-gaus, say) share one entry.
+func CellKey(kind platform.Kind, mixID string, scale float64, cfg config.Config) string {
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(keyDoc{
+		Schema: SchemaVersion,
+		Kind:   kind.String(),
+		Mix:    mixID,
+		Scale:  scale,
+		Cfg:    cfg,
+	}); err != nil {
+		// The only encodable failure here is a non-finite scale (JSON
+		// has no NaN/Inf); every entry point validates scale first, so
+		// reaching this is a caller bug worth failing loudly on.
+		panic(err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is one result cache directory. Methods are safe for
+// concurrent use by multiple goroutines and — thanks to the atomic
+// rename on write — by multiple processes sharing the directory.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if
+// needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path reports where the entry for key lives: <dir>/<key>.json.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get loads the entry for key. The boolean is false on any miss —
+// absent, unreadable, truncated or otherwise undecodable entry — so
+// the caller's only move is to re-simulate (and Put the fresh result,
+// healing the entry).
+func (s *Store) Get(key string) (platform.Result, bool) {
+	b, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return platform.Result{}, false
+	}
+	r, err := report.DecodeResult(b)
+	if err != nil {
+		return platform.Result{}, false
+	}
+	return r, true
+}
+
+// Put writes the entry for key atomically: the document lands in a
+// temp file in the same directory and is renamed over the final path,
+// so concurrent readers (and other processes) only ever observe a
+// complete entry. Re-putting a key overwrites it.
+func (s *Store) Put(key string, r platform.Result) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(report.EncodeResult(r))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("store: writing %s: %w", key, werr)
+		}
+		return fmt.Errorf("store: writing %s: %w", key, cerr)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing %s: %w", key, err)
+	}
+	return nil
+}
+
+// Entries counts the complete entries currently on disk (in-flight
+// temp files are excluded) — surfaced by zngd's /metrics.
+func (s *Store) Entries() (int, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n := 0
+	for _, e := range names {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}
