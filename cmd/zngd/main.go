@@ -12,17 +12,22 @@
 //
 // Endpoints (JSON):
 //
-//	POST /v1/run        {"platform":"ZnG","mix":"betw-back","scale":0.12}
-//	GET  /v1/jobs       job list
-//	GET  /v1/jobs/{id}  job status
-//	GET  /v1/scenarios  workload scenario registry
-//	GET  /v1/platforms  platform vocabulary
-//	GET  /healthz       liveness
-//	GET  /metrics       counters (sims, memory/disk hits, coalesced, jobs, store entries)
+//	POST /v1/run             {"platform":"ZnG","mix":"betw-back","scale":0.12}
+//	GET  /v1/jobs            job list
+//	GET  /v1/jobs/{id}       job status
+//	POST /v1/campaigns       start a declarative sweep (internal/campaign Spec)
+//	GET  /v1/campaigns       campaign list with live progress
+//	GET  /v1/campaigns/{id}  campaign progress + result matrix once done
+//	GET  /v1/scenarios       workload scenario registry
+//	GET  /v1/platforms       platform vocabulary
+//	GET  /healthz            liveness
+//	GET  /metrics            counters (sims, memory/disk hits, coalesced, jobs, evictions, store entries)
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, lets
-// in-flight requests (and their simulations) drain, then closes the
-// service.
+// Job history is bounded: past -max-jobs completed jobs, the oldest
+// persisted (or failed) jobs are evicted from memory and their cells
+// re-serve from the store. On SIGINT/SIGTERM the daemon stops
+// accepting connections, lets in-flight requests (and their
+// simulations) drain, then closes the service.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a random free port)")
 		cacheDir = flag.String("cache", "", "persistent result store directory (empty: memory-only)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
+		maxJobs  = flag.Int("max-jobs", 4096, "retained completed jobs before eviction (0 = unbounded)")
 		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once bound")
 		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain budget for in-flight simulations")
 	)
@@ -59,7 +65,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers})
+	svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers, MaxJobs: *maxJobs})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -80,6 +86,10 @@ func main() {
 	cache := "memory-only"
 	if st != nil {
 		cache = st.Dir()
+	} else if *maxJobs > 0 {
+		// Without a store, completed results have nowhere to be
+		// re-served from, so retention only ever evicts failed jobs.
+		fmt.Println("zngd: no -cache: -max-jobs bounds failed jobs only; completed results are retained for the process lifetime")
 	}
 	fmt.Printf("zngd: listening on http://%s (cache: %s)\n", bound, cache)
 

@@ -1,0 +1,227 @@
+// Command zngsweep declares and executes simulation campaigns: whole
+// evaluation matrices (platforms × scenarios × scales × config
+// overrides) expanded from flags or a JSON spec file, executed
+// locally or fanned out across a fleet of zngd peers.
+//
+// Usage:
+//
+//	zngsweep -platforms ZnG,HybridGPU -scenarios betw-back,pr-gaus -scales 0.12
+//	zngsweep -platforms ZnG -scenarios bfs1+gaus*1.5,pr-gaus   # ad-hoc co-run + registered
+//	zngsweep -spec sweep.json -format csv
+//	zngsweep -platforms ZnG -scenarios solo-bfs1 -cache ~/.zng-cache
+//	zngsweep -spec sweep.json -peers 10.0.0.1:8080,10.0.0.2:8080 -v
+//
+// A spec file is the JSON form of campaign.Spec:
+//
+//	{
+//	  "name": "l2-sweep",
+//	  "platforms": ["ZnG"],
+//	  "scenarios": ["betw-back", "bfs1-gaus"],
+//	  "scales": [0.12],
+//	  "overrides": [{"name": "base"}, {"l2_mult": 8}, {"prefetch_off": true}]
+//	}
+//
+// Execution backends, most local first: the default in-memory
+// single-flight memo; with -cache DIR the store-backed simsvc
+// scheduler (cells persist and dedupe across invocations and against
+// zngd daemons sharing the directory); with -peers the
+// internal/remote dispatcher, which shards cells across the named
+// zngd workers with health-checking, least-loaded work stealing and
+// retry-on-peer-failure — several daemons become one simulation
+// fleet, and results are byte-identical to a local run.
+//
+// The result matrix renders as a text table by default, or through
+// internal/report with -format md|csv|json. Cells that fail after
+// -retries attempts render as ERROR and the exit status is non-zero;
+// the rest of the matrix still prints. -v adds live progress, the
+// runner's dedup counters and — with -peers — per-peer cell counts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/remote"
+	"zng/internal/report"
+	"zng/internal/simsvc"
+	"zng/internal/store"
+)
+
+func main() {
+	var (
+		specFile  = flag.String("spec", "", "campaign spec JSON file (overrides the axis flags)")
+		name      = flag.String("name", "", "campaign name (table title)")
+		platforms = flag.String("platforms", "", "comma-separated platform axis, e.g. ZnG,HybridGPU")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario axis: registered names or '+'-joined ad-hoc compositions like bfs1+gaus*1.5")
+		scales    = flag.String("scales", "", "comma-separated scale axis (default 1.0, the Table II budgets)")
+		peers     = flag.String("peers", "", "comma-separated zngd peers to fan out across (host:port,...)")
+		cacheDir  = flag.String("cache", "", "persistent result store directory (local execution)")
+		workers   = flag.Int("workers", 0, "concurrent in-flight cells (0 = NumCPU)")
+		retries   = flag.Int("retries", 1, "extra attempts per failed cell")
+		format    = flag.String("format", "", "rendering: md, csv or json (default: text table)")
+		verbose   = flag.Bool("v", false, "live progress, runner stats and per-peer counters")
+	)
+	flag.Parse()
+
+	if *format != "" && !slices.Contains(report.Formats(), *format) {
+		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(report.Formats(), ", ")))
+	}
+
+	spec, err := buildSpec(*specFile, *name, *platforms, *scenarios, *scales)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Pick the execution backend: remote dispatcher > store-backed
+	// service > in-memory memo. All three satisfy the same Runner
+	// interface, which is the whole point.
+	var runner campaign.Runner
+	var dispatcher *remote.Dispatcher
+	switch {
+	case *peers != "" && *cacheDir != "":
+		fatal(fmt.Errorf("-peers and -cache are mutually exclusive (the peers own their caches)"))
+	case *peers != "":
+		d, err := remote.NewDispatcher(splitCSV(*peers), 0)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.CheckHealth(); err != nil {
+			fatal(fmt.Errorf("peer health check: %w", err))
+		}
+		dispatcher, runner = d, d
+	case *cacheDir != "":
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers})
+		defer svc.Close()
+		runner = svc
+	default:
+		runner = experiments.NewMemo()
+	}
+
+	ex := campaign.Executor{Runner: runner, Workers: *workers, Retries: *retries}
+	run, err := ex.Start(spec, config.Default())
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "zngsweep: %d cells (%d unique) across %d platforms x %d scenarios\n",
+			len(run.Cells()), campaign.UniqueCells(run.Cells()), len(spec.Platforms), len(spec.Scenarios))
+		go func() {
+			for !run.Done() {
+				p := run.Progress()
+				fmt.Fprintf(os.Stderr, "zngsweep: %d/%d done, %d failed, %d retried\n",
+					p.Done, p.Total, p.Failed, p.Retried)
+				time.Sleep(time.Second)
+			}
+		}()
+	}
+	start := time.Now()
+	out := run.Wait()
+
+	t := out.Table()
+	if *format == "" {
+		fmt.Println(t)
+	} else {
+		rendered, err := report.Render(t, *format)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := os.Stdout.Write(rendered); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "zngsweep: campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+		if sr, ok := runner.(experiments.StatsReporter); ok {
+			st := sr.Stats()
+			fmt.Fprintf(os.Stderr, "zngsweep: %d unique simulations, %d memory hits, %d disk hits, %d coalesced\n",
+				st.Sims, st.MemoryHits, st.DiskHits, st.Coalesced)
+		}
+	}
+	if dispatcher != nil && (*verbose || out.Failed() > 0) {
+		for _, p := range dispatcher.PeerStats() {
+			state := "up"
+			if p.Down {
+				state = "down"
+			}
+			fmt.Fprintf(os.Stderr, "zngsweep: peer %s: %d cells, %d failures (%s)\n",
+				p.Addr, p.Cells, p.Failures, state)
+		}
+	}
+	if err := out.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// buildSpec loads the spec file, or assembles a spec from the axis
+// flags. Flags layered on top of a file override its axes, so a saved
+// spec can be re-run at another scale without editing it.
+func buildSpec(specFile, name, platforms, scenarios, scales string) (campaign.Spec, error) {
+	var spec campaign.Spec
+	if specFile != "" {
+		b, err := os.ReadFile(specFile)
+		if err != nil {
+			return spec, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return spec, fmt.Errorf("parsing %s: %w", specFile, err)
+		}
+	}
+	if name != "" {
+		spec.Name = name
+	}
+	if platforms != "" {
+		spec.Platforms = splitCSV(platforms)
+	}
+	if scenarios != "" {
+		// Entries are registered names or '+'-joined compositions
+		// ("bfs1+gaus*1.5"), so ',' always separates scenarios — an
+		// ad-hoc co-run can never be silently split into solo cells.
+		spec.Scenarios = splitCSV(scenarios)
+	}
+	if scales != "" {
+		spec.Scales = nil
+		for _, s := range splitCSV(scales) {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad -scales entry %q: %w", s, err)
+			}
+			spec.Scales = append(spec.Scales, v)
+		}
+	}
+	// No scale default here: Expand's own {1.0} applies, so the same
+	// spec means the same cells whether it runs through zngsweep, the
+	// library, or POST /v1/campaigns.
+	return spec, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zngsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"zng/internal/campaign"
+	"zng/internal/experiments"
+	"zng/internal/simsvc"
+	"zng/internal/store"
+)
+
+// BenchmarkCampaignExecutor measures the campaign layer's overhead
+// per cell against a warmed store at TestOptions scale: after the
+// first execution lands every cell in the service's memory and on
+// disk, each iteration re-executes the whole campaign and pays only
+// expansion (content hashing per cell), scheduling and table folding
+// — the sweep-layer cost on top of the serving path that
+// BenchmarkServiceThroughput baselines per request.
+func BenchmarkCampaignExecutor(b *testing.B) {
+	o := experiments.TestOptions()
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := simsvc.New(simsvc.Config{Store: st})
+	defer svc.Close()
+
+	spec := campaign.Spec{
+		Name:      "bench",
+		Platforms: []string{"GDDR5"},
+		Scenarios: []string{"solo-bfs1", "solo-gaus", "solo-pr"},
+		Scales:    []float64{o.Scale},
+	}
+	ex := campaign.Executor{Runner: svc}
+	// Warm: one execution simulates the cells once.
+	out, err := ex.Execute(spec, o.Cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		b.Fatal(err)
+	}
+	cells := len(out.Cells)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := ex.Execute(spec, o.Cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := out.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := svc.Stats(); st.Sims != uint64(cells) {
+		b.Fatalf("benchmark simulated %d cells, want only the %d warmup cells", st.Sims, cells)
+	}
+	b.ReportMetric(float64(b.N*cells)/b.Elapsed().Seconds(), "cells/s")
+}

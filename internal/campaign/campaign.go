@@ -1,0 +1,301 @@
+// Package campaign turns the evaluation matrix into a first-class
+// object: a declarative Spec names a grid — platforms × workload
+// scenarios × trace scales × configuration overrides — and expands
+// deterministically into content-addressed simulation cells, the same
+// (kind, mix ID, scale, config) identity the persistent store
+// (internal/store) hashes, so identical cells across campaigns dedupe
+// through whatever runner executes them. The paper's evaluation is
+// exactly such a matrix (six platforms × twelve co-run pairs plus
+// ablation sweeps, Section V); before this package every sweep was
+// hand-rolled inside an internal/experiments figure driver.
+//
+// An Executor drives the cells through any runner — the in-memory
+// experiments memo, the store-backed simsvc scheduler, or an
+// internal/remote dispatcher fanning out over zngd peers — with
+// bounded concurrency, per-cell retry, live progress counters and
+// partial-failure reporting, and folds the results into a
+// stats.Table matrix that internal/report renders like any figure.
+// The Manager adds an asynchronous lifecycle (start, poll progress by
+// campaign id, collect the outcome) for the zngd HTTP API.
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"zng/internal/cellkey"
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+// Runner answers one simulation cell. It is structurally identical to
+// experiments.Runner — re-declared here (rather than imported) so the
+// experiments figure drivers can themselves build their matrices
+// through a campaign without an import cycle. Any experiments.Runner
+// (the memo, the simsvc service, a remote dispatcher) satisfies it.
+type Runner interface {
+	Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error)
+}
+
+// Override is one declarative configuration perturbation of a
+// campaign axis. Every field's zero value means "inherit the base
+// configuration", so overrides compose a sparse diff rather than a
+// full config — the JSON form is what a zngsweep spec file or a
+// POST /v1/campaigns body carries. The knobs are the ones the
+// paper's own sensitivity studies turn: L2 capacity (Sec. IV-B),
+// flash channel count (Table I), the prefetcher and its waste
+// thresholds (Sec. V-D), and the register-cache interconnect
+// (Sec. IV-C).
+type Override struct {
+	// Name labels the override in tables and progress output; derived
+	// from the set fields when empty.
+	Name string `json:"name,omitempty"`
+	// L2Mult sets the STT-MRAM L2 to L2Mult× the SRAM L2's sets, the
+	// axis the abl-l2 sweep walks (Table I ships 4×).
+	L2Mult int `json:"l2_mult,omitempty"`
+	// Channels overrides the flash channel count (Table I: 16).
+	Channels int `json:"channels,omitempty"`
+	// PrefetchOff disables the dynamic read prefetcher by lifting the
+	// cutoff threshold above the predictor counter's saturation point.
+	PrefetchOff bool `json:"prefetch_off,omitempty"`
+	// HighWaste / LowWaste override the access monitor's waste
+	// thresholds (the Fig. 13 sweep axes; the paper lands on
+	// 0.3/0.05). Pointers, because 0 is a meaningful threshold — nil
+	// means "inherit the base", *0 means zero.
+	HighWaste *float64 `json:"high_waste,omitempty"`
+	LowWaste  *float64 `json:"low_waste,omitempty"`
+	// RegNet selects the flash-register interconnect: SWnet, FCnet or
+	// NiF (the abl-writenet axis).
+	RegNet string `json:"reg_net,omitempty"`
+}
+
+// IsZero reports whether the override perturbs nothing (the base
+// configuration cell).
+func (ov Override) IsZero() bool {
+	return ov.L2Mult == 0 && ov.Channels == 0 && !ov.PrefetchOff &&
+		ov.HighWaste == nil && ov.LowWaste == nil && ov.RegNet == ""
+}
+
+// Label names the override for table rows and progress lines: the
+// explicit Name when set, "base" for the zero override, and a
+// deterministic field summary like "l2x8+ch8+nopf" otherwise.
+func (ov Override) Label() string {
+	if ov.Name != "" {
+		return ov.Name
+	}
+	var parts []string
+	if ov.L2Mult != 0 {
+		parts = append(parts, fmt.Sprintf("l2x%d", ov.L2Mult))
+	}
+	if ov.Channels != 0 {
+		parts = append(parts, fmt.Sprintf("ch%d", ov.Channels))
+	}
+	if ov.PrefetchOff {
+		parts = append(parts, "nopf")
+	}
+	if ov.HighWaste != nil {
+		parts = append(parts, "hi"+strconv.FormatFloat(*ov.HighWaste, 'g', -1, 64))
+	}
+	if ov.LowWaste != nil {
+		parts = append(parts, "lo"+strconv.FormatFloat(*ov.LowWaste, 'g', -1, 64))
+	}
+	if ov.RegNet != "" {
+		parts = append(parts, ov.RegNet)
+	}
+	if len(parts) == 0 {
+		return "base"
+	}
+	return strings.Join(parts, "+")
+}
+
+// regNetByName resolves the RegNet vocabulary through the config
+// package's Stringer, so a new interconnect shows up here for free.
+func regNetByName(name string) (config.RegCacheNet, error) {
+	for _, n := range []config.RegCacheNet{config.SWnet, config.FCnet, config.NiF} {
+		if n.String() == name {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("campaign: unknown reg_net %q (valid: SWnet, FCnet, NiF)", name)
+}
+
+// Apply validates the override and returns the base configuration
+// with the set fields perturbed.
+func (ov Override) Apply(base config.Config) (config.Config, error) {
+	cfg := base
+	if ov.L2Mult < 0 {
+		return cfg, fmt.Errorf("campaign: override %s: l2_mult %d must be positive", ov.Label(), ov.L2Mult)
+	}
+	if ov.L2Mult > 0 {
+		cfg.L2STT.Sets = cfg.L2SRAM.Sets * ov.L2Mult
+	}
+	if ov.Channels < 0 {
+		return cfg, fmt.Errorf("campaign: override %s: channels %d must be positive", ov.Label(), ov.Channels)
+	}
+	if ov.Channels > 0 {
+		cfg.Flash.Channels = ov.Channels
+	}
+	if ov.PrefetchOff {
+		// The predictor counter saturates at 2^CounterBits-1; a cutoff
+		// above that can never be exceeded, so no prefetch ever issues.
+		cfg.Prefetch.CutoffThresh = 1 << 30
+	}
+	for _, w := range []struct {
+		name string
+		v    *float64
+		dst  *float64
+	}{{"high_waste", ov.HighWaste, &cfg.Prefetch.HighWaste}, {"low_waste", ov.LowWaste, &cfg.Prefetch.LowWaste}} {
+		if w.v == nil {
+			continue
+		}
+		if *w.v < 0 || *w.v > 1 || math.IsNaN(*w.v) {
+			return cfg, fmt.Errorf("campaign: override %s: %s %v outside [0, 1]", ov.Label(), w.name, *w.v)
+		}
+		*w.dst = *w.v
+	}
+	if ov.RegNet != "" {
+		net, err := regNetByName(ov.RegNet)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.RegCache.Net = net
+	}
+	return cfg, nil
+}
+
+// Spec declares one campaign: the full cross product of its four
+// axes. Platforms and Scenarios are required; Scales defaults to
+// {1.0} (the Table II trace budgets) and Overrides to the single base
+// configuration. Scenario entries name registered scenarios
+// (workload.Scenarios) or ad-hoc compositions — zngsim's -apps
+// syntax ("bfs1,gaus*1.5") or the comma-free mix-ID form
+// ("bfs1+gaus*1.5", safe inside comma-separated flag lists).
+type Spec struct {
+	Name      string     `json:"name,omitempty"`
+	Platforms []string   `json:"platforms"`
+	Scenarios []string   `json:"scenarios"`
+	Scales    []float64  `json:"scales,omitempty"`
+	Overrides []Override `json:"overrides,omitempty"`
+}
+
+// Cell is one expanded grid point, content-addressed by Key — the
+// exact store.CellKey the persistent store and the simsvc scheduler
+// hash, so a cell this campaign shares with any past campaign (or any
+// figure driver) is the same entry everywhere.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index    int
+	Kind     platform.Kind
+	Mix      workload.Mix
+	Scale    float64
+	Override Override
+	// Cfg is the base configuration with Override applied.
+	Cfg config.Config
+	// Key is the cell's content address (store.CellKey).
+	Key string
+}
+
+// resolveScenario accepts a registered scenario name or an ad-hoc
+// composition in either zngsim's -apps syntax ("bfs1,gaus*1.5") or
+// the mix-ID form with '+' separators ("bfs1+gaus*1.5"). The '+'
+// form exists so comma-separated scenario lists (zngsweep
+// -scenarios) can carry multi-app compositions unambiguously.
+func resolveScenario(name string) (workload.Mix, error) {
+	m, err := workload.MixByName(name)
+	if err == nil {
+		return m, nil
+	}
+	am, aerr := workload.ParseApps(strings.ReplaceAll(name, "+", ","))
+	if aerr == nil {
+		return am, nil
+	}
+	// A separator marks the entry as clearly ad-hoc: report the
+	// composition parser's diagnostic (a weight typo, an unknown app)
+	// rather than a misleading "unknown scenario".
+	if strings.ContainsAny(name, "+,") {
+		return workload.Mix{}, aerr
+	}
+	return workload.Mix{}, err
+}
+
+// Expand validates the spec against the base configuration and
+// returns the grid in deterministic order: overrides outermost, then
+// scales, then scenarios, then platforms — so a result matrix groups
+// naturally into one (override, scale) block of scenario rows ×
+// platform columns. Cells that alias the same content (two scenario
+// names with one composition) keep separate grid points with their
+// own labels; any Runner dedupes them by Key.
+func (s Spec) Expand(base config.Config) ([]Cell, error) {
+	if len(s.Platforms) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q lists no platforms", s.Name)
+	}
+	if len(s.Scenarios) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q lists no scenarios", s.Name)
+	}
+	kinds := make([]platform.Kind, len(s.Platforms))
+	for i, name := range s.Platforms {
+		k, err := platform.KindByName(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+	mixes := make([]workload.Mix, len(s.Scenarios))
+	for i, name := range s.Scenarios {
+		m, err := resolveScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		mixes[i] = m
+	}
+	scales := s.Scales
+	if len(scales) == 0 {
+		scales = []float64{1}
+	}
+	for _, sc := range scales {
+		if !(sc > 0) || math.IsInf(sc, 0) {
+			return nil, fmt.Errorf("campaign: scale must be positive and finite, got %v", sc)
+		}
+	}
+	overrides := s.Overrides
+	if len(overrides) == 0 {
+		overrides = []Override{{}}
+	}
+
+	cells := make([]Cell, 0, len(overrides)*len(scales)*len(mixes)*len(kinds))
+	for _, ov := range overrides {
+		cfg, err := ov.Apply(base)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range scales {
+			for _, m := range mixes {
+				for _, k := range kinds {
+					cells = append(cells, Cell{
+						Index:    len(cells),
+						Kind:     k,
+						Mix:      m,
+						Scale:    sc,
+						Override: ov,
+						Cfg:      cfg,
+						Key:      cellkey.Key(k, m.ID(), sc, cfg),
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// UniqueCells counts the distinct content addresses in a cell list —
+// the number of simulations a deduplicating runner actually pays for.
+func UniqueCells(cells []Cell) int {
+	seen := make(map[string]struct{}, len(cells))
+	for _, c := range cells {
+		seen[c.Key] = struct{}{}
+	}
+	return len(seen)
+}

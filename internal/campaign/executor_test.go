@@ -1,0 +1,335 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+// stubRunner answers cells from a function while counting calls and
+// tracking peak concurrency.
+type stubRunner struct {
+	mu      sync.Mutex
+	calls   int
+	active  int
+	peak    int
+	fn      func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error)
+	stall   time.Duration
+	failFor map[string]int // mix name -> remaining failures
+}
+
+func (s *stubRunner) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	s.mu.Lock()
+	s.calls++
+	s.active++
+	if s.active > s.peak {
+		s.peak = s.active
+	}
+	fail := false
+	if s.failFor[mix.Name] > 0 {
+		s.failFor[mix.Name]--
+		fail = true
+	}
+	s.mu.Unlock()
+	if s.stall > 0 {
+		time.Sleep(s.stall)
+	}
+	defer func() {
+		s.mu.Lock()
+		s.active--
+		s.mu.Unlock()
+	}()
+	if fail {
+		return platform.Result{}, errors.New("transient failure")
+	}
+	if s.fn != nil {
+		return s.fn(kind, mix, scale, cfg)
+	}
+	return platform.Result{Kind: kind, Workload: mix.Name, IPC: scale * 10}, nil
+}
+
+func soloSpec(n int) Spec {
+	apps := []string{"solo-bfs1", "solo-gaus", "solo-pr", "solo-back", "solo-betw", "solo-deg"}
+	return Spec{Name: "test", Platforms: []string{"ZnG"}, Scenarios: apps[:n], Scales: []float64{0.5}}
+}
+
+func TestExecutorRunsEveryCellOnce(t *testing.T) {
+	r := &stubRunner{}
+	ex := Executor{Runner: r, Workers: 3}
+	out, err := ex.Execute(Spec{
+		Name:      "full",
+		Platforms: []string{"ZnG", "HybridGPU"},
+		Scenarios: []string{"betw-back", "pr-gaus", "bfs1-gaus"},
+		Scales:    []float64{0.5},
+	}, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.calls != 6 {
+		t.Errorf("runner saw %d calls, want 6 (one per cell)", r.calls)
+	}
+	if out.Failed() != 0 || len(out.Cells) != 6 {
+		t.Errorf("outcome: %d cells, %d failed", len(out.Cells), out.Failed())
+	}
+	for i, cr := range out.Cells {
+		if cr.Err != nil || cr.Result.IPC != 5 || cr.Attempts != 1 {
+			t.Errorf("cell %d: %+v", i, cr)
+		}
+		if cr.Cell.Index != i {
+			t.Errorf("cell %d out of expansion order (index %d)", i, cr.Cell.Index)
+		}
+	}
+}
+
+func TestExecutorBoundsConcurrency(t *testing.T) {
+	r := &stubRunner{stall: 20 * time.Millisecond}
+	ex := Executor{Runner: r, Workers: 2}
+	out, err := ex.Execute(soloSpec(6), config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.peak > 2 {
+		t.Errorf("peak concurrency %d exceeds Workers=2", r.peak)
+	}
+}
+
+func TestExecutorRetriesAndPartialFailure(t *testing.T) {
+	// solo-gaus fails once then succeeds (a peer blip); solo-pr fails
+	// forever (a broken cell). With one retry the campaign completes
+	// all but solo-pr and reports the partial failure per cell.
+	r := &stubRunner{failFor: map[string]int{"solo-gaus": 1, "solo-pr": 1 << 30}}
+	ex := Executor{Runner: r, Workers: 1, Retries: 1}
+	run, err := ex.Start(soloSpec(3), config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run.Wait()
+	if p := run.Progress(); p.Retried != 2 || p.Failed != 1 || p.Done != 2 {
+		t.Errorf("progress = %+v, want 2 retried, 1 failed, 2 done", p)
+	}
+	if out.Failed() != 1 {
+		t.Fatalf("failed = %d, want 1", out.Failed())
+	}
+	byName := map[string]CellResult{}
+	for _, cr := range out.Cells {
+		byName[cr.Cell.Mix.Name] = cr
+	}
+	if cr := byName["solo-bfs1"]; cr.Err != nil || cr.Attempts != 1 {
+		t.Errorf("clean cell: %+v", cr)
+	}
+	if cr := byName["solo-gaus"]; cr.Err != nil || cr.Attempts != 2 {
+		t.Errorf("retried cell: err=%v attempts=%d, want recovery on attempt 2", cr.Err, cr.Attempts)
+	}
+	if cr := byName["solo-pr"]; cr.Err == nil || cr.Attempts != 2 {
+		t.Errorf("broken cell: err=%v attempts=%d, want exhausted retries", cr.Err, cr.Attempts)
+	}
+	if err := out.Err(); err == nil || !strings.Contains(err.Error(), "1 of 3") {
+		t.Errorf("outcome error = %v, want partial-failure summary", err)
+	}
+}
+
+func TestExecutorProgressCounters(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	r := &stubRunner{fn: func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		started <- struct{}{}
+		<-gate
+		return platform.Result{IPC: 1}, nil
+	}}
+	ex := Executor{Runner: r, Workers: 2}
+	run, err := ex.Start(soloSpec(4), config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	<-started
+	if p := run.Progress(); p.Total != 4 || p.Done != 0 || p.Finished() {
+		t.Errorf("mid-flight progress = %+v", p)
+	}
+	if run.Done() {
+		t.Error("Done() true while cells in flight")
+	}
+	if run.Outcome() != nil {
+		t.Error("Outcome() non-nil while running")
+	}
+	close(gate)
+	out := run.Wait()
+	if p := run.Progress(); p.Done != 4 || !p.Finished() {
+		t.Errorf("final progress = %+v", p)
+	}
+	if out.Err() != nil || !run.Done() {
+		t.Errorf("outcome err = %v", out.Err())
+	}
+}
+
+func TestOutcomeTableFold(t *testing.T) {
+	r := &stubRunner{fn: func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		if mix.Name == "solo-pr" && kind == platform.HybridGPU {
+			return platform.Result{}, errors.New("deadlock")
+		}
+		// A recognizable IPC per cell axis point.
+		ipc := float64(len(mix.Name)) * scale
+		if cfg.L2STT.Sets > config.Default().L2STT.Sets {
+			ipc *= 2
+		}
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: ipc}, nil
+	}}
+	spec := Spec{
+		Name:      "fold",
+		Platforms: []string{"ZnG", "HybridGPU"},
+		Scenarios: []string{"solo-bfs1", "solo-pr"},
+		Scales:    []float64{0.5, 1},
+		Overrides: []Override{{}, {L2Mult: 16}},
+	}
+	out, err := Executor{Runner: r, Workers: 4}.Execute(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := out.Table()
+	wantHeader := []string{"scenario", "scale", "config", "ZnG", "HybridGPU"}
+	if got := tab.Header(); fmt.Sprint(got) != fmt.Sprint(wantHeader) {
+		t.Fatalf("header = %v, want %v", got, wantHeader)
+	}
+	if tab.Rows() != 2*2*2 {
+		t.Fatalf("rows = %d, want 8 (scenario x scale x override)", tab.Rows())
+	}
+	// Row 0: base override, scale 0.5, solo-bfs1.
+	row := tab.Row(0)
+	if row[0] != "solo-bfs1" || row[1] != "0.5" || row[2] != "base" {
+		t.Errorf("row 0 axes = %v", row[:3])
+	}
+	if row[3] != "4.5" { // len("solo-bfs1") = 9, * 0.5
+		t.Errorf("row 0 ZnG IPC = %q, want 4.5", row[3])
+	}
+	// The failing cell renders ERROR without suppressing the matrix.
+	foundErr := false
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Row(i)[0] == "solo-pr" && tab.Row(i)[4] == "ERROR" {
+			foundErr = true
+		}
+	}
+	if !foundErr {
+		t.Error("failed cell did not render as ERROR")
+	}
+	// The l2x16 block doubles ZnG IPC, proving the override reached
+	// the runner's cfg.
+	last := tab.Row(tab.Rows() - 2) // l2x16, scale 1, solo-bfs1
+	if last[2] != "l2x16" || last[3] != "18" {
+		t.Errorf("override row = %v, want l2x16 with doubled IPC 18", last)
+	}
+}
+
+func TestExecutorStartValidation(t *testing.T) {
+	if _, err := (Executor{}).Start(soloSpec(1), config.Default()); err == nil {
+		t.Error("runnerless executor started")
+	}
+	if _, err := (Executor{Runner: &stubRunner{}}).Start(Spec{}, config.Default()); err == nil {
+		t.Error("empty spec expanded")
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 4)
+	r := &stubRunner{fn: func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		started <- struct{}{}
+		<-gate
+		return platform.Result{IPC: 2}, nil
+	}}
+	m := NewManager(r, config.Default(), 2)
+	c, err := m.Start(soloSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "c-1" {
+		t.Errorf("id = %q", c.ID)
+	}
+	if _, ok := m.Get("c-1"); !ok {
+		t.Error("Get(c-1) missed")
+	}
+	if _, ok := m.Get("c-99"); ok {
+		t.Error("Get(c-99) hit")
+	}
+	<-started
+	if c.Done() || c.Outcome() != nil {
+		t.Error("campaign done before cells resolved")
+	}
+	close(gate)
+	for !c.Done() {
+		time.Sleep(time.Millisecond)
+	}
+	if out := c.Outcome(); out == nil || out.Err() != nil {
+		t.Errorf("outcome = %+v", out)
+	}
+	if c2, err := m.Start(soloSpec(1)); err != nil || c2.ID != "c-2" {
+		t.Errorf("second campaign = %v, %v", c2, err)
+	}
+	if got := m.List(); len(got) != 2 || got[0].ID != "c-1" || got[1].ID != "c-2" {
+		t.Errorf("List = %v", got)
+	}
+	if _, err := m.Start(Spec{}); err == nil {
+		t.Error("manager started an unexpandable spec")
+	}
+}
+
+// TestManagerEvictsFinishedCampaigns: past the retention bound the
+// oldest finished campaigns disappear (their ids read as unknown)
+// while running campaigns always survive.
+func TestManagerEvictsFinishedCampaigns(t *testing.T) {
+	r := &stubRunner{}
+	m := NewManager(r, config.Default(), 1)
+	m.SetMaxCampaigns(2)
+	for i := 0; i < 3; i++ {
+		c, err := m.Start(soloSpec(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.run.Wait()
+	}
+	if _, ok := m.Get("c-1"); ok {
+		t.Error("oldest finished campaign survived eviction")
+	}
+	if _, ok := m.Get("c-3"); !ok {
+		t.Error("newest campaign was evicted")
+	}
+	if got := len(m.List()); got != 2 {
+		t.Errorf("retained campaigns = %d, want 2", got)
+	}
+
+	// A running campaign is never evicted, even at the bound.
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	rg := &stubRunner{fn: func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		started <- struct{}{}
+		<-gate
+		return platform.Result{IPC: 1}, nil
+	}}
+	m2 := NewManager(rg, config.Default(), 1)
+	m2.SetMaxCampaigns(1)
+	running, err := m2.Start(soloSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Finished campaigns beyond the bound evict around the running one.
+	if _, err := m2.Start(soloSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m2.Get(running.ID); !ok {
+		t.Error("running campaign was evicted")
+	}
+	close(gate)
+}

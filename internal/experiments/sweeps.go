@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/flash"
 	"zng/internal/ftl"
@@ -81,30 +82,47 @@ func AblationConsolidation(o Options) (*stats.Table, map[platform.Kind][]float64
 	kinds := []platform.Kind{platform.HybridGPU, platform.ZnG}
 	t := stats.NewTable("Ablation D: consolidation sweep (aggregate IPC vs co-run degree)",
 		"mix", "degree", "HybridGPU", "ZnG", "HybridGPU (vs solo)", "ZnG (vs solo)")
-	// Fan the 2x4 cells out through the matrix runner like every other
-	// multi-cell driver, rather than simulating them serially.
-	oo := o
-	oo.Mixes = nil
+	// This driver's matrix is declared as a campaign Spec and fanned
+	// out through the campaign Executor over the Options' runner — the
+	// proof that the declarative sweep layer composes under any figure
+	// driver. The executor reports partial failure per cell; a figure
+	// needs the whole grid, so any failure fails the driver.
+	spec := campaign.Spec{
+		Name:      "abl-consolidation",
+		Platforms: []string{platform.HybridGPU.String(), platform.ZnG.String()},
+		Scales:    []float64{o.Scale},
+	}
 	for d := 1; d <= workload.ConsolidationDegrees; d++ {
 		m, err := workload.ConsolidationMix(d)
 		if err != nil {
 			return nil, nil, err
 		}
-		oo.Mixes = append(oo.Mixes, m)
+		spec.Scenarios = append(spec.Scenarios, m.Name)
 	}
-	res, err := runMatrix(oo, kinds)
+	ex := campaign.Executor{Runner: o.runner(), Workers: o.workers()}
+	out, err := ex.Execute(spec, o.Cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	if err := out.Err(); err != nil {
+		return nil, nil, err
+	}
+	res := map[platform.Kind]map[string]platform.Result{}
+	for _, cr := range out.Cells {
+		if res[cr.Cell.Kind] == nil {
+			res[cr.Cell.Kind] = map[string]platform.Result{}
+		}
+		res[cr.Cell.Kind][cr.Cell.Mix.Name] = cr.Result
+	}
 	ipc := map[platform.Kind][]float64{}
-	for _, m := range oo.Mixes {
+	for _, name := range spec.Scenarios {
 		for _, k := range kinds {
-			ipc[k] = append(ipc[k], res[k][m.Name].IPC)
+			ipc[k] = append(ipc[k], res[k][name].IPC)
 		}
 	}
-	for d, m := range oo.Mixes {
+	for d, name := range spec.Scenarios {
 		hyb, zng := ipc[platform.HybridGPU][d], ipc[platform.ZnG][d]
-		t.AddRow(m.Name, d+1, hyb, zng,
+		t.AddRow(name, d+1, hyb, zng,
 			hyb/ipc[platform.HybridGPU][0], zng/ipc[platform.ZnG][0])
 	}
 	return t, ipc, nil

@@ -1,0 +1,196 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/workload"
+)
+
+// Dispatcher shards simulation cells across a fleet of zngd peers.
+// It implements the same Runner interface as a single Client, so a
+// campaign Executor (or any figure driver) fans out over the fleet
+// without knowing it: each Run picks the healthy peer with the
+// fewest cells in flight — locality-free work stealing, since cells
+// are content-addressed and any peer can serve any cell — and a
+// peer-level failure (connection refused, draining, garbage reply)
+// re-routes the cell to another peer while the faulty one sits out a
+// cooldown. Deterministic simulation errors reported by a peer are
+// returned as-is: every worker would compute the same failure.
+type Dispatcher struct {
+	cooldown time.Duration
+
+	mu    sync.Mutex
+	peers []*peer
+	// rr rotates the scan origin so equal-inflight ties round-robin
+	// across the fleet instead of always landing on the first peer —
+	// without it, fully serialized execution (every cell finishing
+	// before the next dispatch) would starve every peer but peers[0].
+	rr int
+}
+
+// peer is one worker plus its scheduling state.
+type peer struct {
+	client   *Client
+	inflight int
+	cells    uint64
+	failures uint64
+	downTil  time.Time
+}
+
+// PeerStats is one peer's scheduling counters — the per-worker view
+// zngsweep -v prints and the distributed tests assert on.
+type PeerStats struct {
+	Addr string
+	// Cells counts the cells this peer answered successfully.
+	Cells uint64
+	// Failures counts peer-level faults observed on this peer.
+	Failures uint64
+	// InFlight is the current outstanding request count.
+	InFlight int
+	// Down reports whether the peer is sitting out a failure cooldown.
+	Down bool
+}
+
+// DefaultCooldown is how long a failed peer sits out before the
+// dispatcher offers it work again.
+const DefaultCooldown = 5 * time.Second
+
+// NewDispatcher builds a dispatcher over peer addresses ("host:port"
+// or http:// URLs). cooldown <= 0 uses DefaultCooldown.
+func NewDispatcher(addrs []string, cooldown time.Duration) (*Dispatcher, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("remote: dispatcher needs at least one peer")
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	d := &Dispatcher{cooldown: cooldown}
+	for _, a := range addrs {
+		d.peers = append(d.peers, &peer{client: NewClient(a)})
+	}
+	return d, nil
+}
+
+// SetTimeout overrides every peer client's per-request timeout.
+func (d *Dispatcher) SetTimeout(t time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.peers {
+		p.client.SetTimeout(t)
+	}
+}
+
+// CheckHealth probes every peer's /healthz concurrently and returns
+// an error naming the unreachable ones (nil when all answer). It does
+// not mark peers down — the scheduling loop's own observations do
+// that — it exists so a CLI can fail fast on a typo'd -peers list.
+func (d *Dispatcher) CheckHealth() error {
+	d.mu.Lock()
+	peers := append([]*peer(nil), d.peers...)
+	d.mu.Unlock()
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = p.client.Healthy()
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// pick selects the untried peer with the fewest cells in flight,
+// preferring peers not in cooldown; when only cooled-down peers
+// remain untried it offers them anyway (they may have recovered, and
+// refusing would strand the cell). Equal-inflight ties round-robin
+// via the rotating scan origin. It returns nil once every peer has
+// been tried for this cell.
+func (d *Dispatcher) pick(tried map[*peer]bool) *peer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	n := len(d.peers)
+	start := d.rr % n
+	d.rr++
+	var best *peer
+	bestDown := false
+	for i := 0; i < n; i++ {
+		p := d.peers[(start+i)%n]
+		if tried[p] {
+			continue
+		}
+		down := now.Before(p.downTil)
+		switch {
+		case best == nil,
+			bestDown && !down,
+			bestDown == down && p.inflight < best.inflight:
+			best, bestDown = p, down
+		}
+	}
+	if best != nil {
+		best.inflight++
+	}
+	return best
+}
+
+// Run implements the Runner interface over the fleet: try peers in
+// least-loaded order until one answers, marking each peer-level
+// failure down for the cooldown. The cell fails only when every peer
+// has faulted on it (the joined error names them all) or a peer
+// reports a deterministic simulation error.
+func (d *Dispatcher) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	tried := map[*peer]bool{}
+	var faults []error
+	for {
+		p := d.pick(tried)
+		if p == nil {
+			return platform.Result{}, fmt.Errorf("remote: all %d peers failed: %w", len(d.peers), errors.Join(faults...))
+		}
+		tried[p] = true
+		res, err := p.client.Run(kind, mix, scale, cfg)
+		d.mu.Lock()
+		p.inflight--
+		var pe *PeerError
+		switch {
+		case err == nil:
+			p.cells++
+			d.mu.Unlock()
+			return res, nil
+		case errors.As(err, &pe):
+			p.failures++
+			p.downTil = time.Now().Add(d.cooldown)
+			d.mu.Unlock()
+			faults = append(faults, err)
+		default:
+			// A simulation error: deterministic, not the peer's fault.
+			d.mu.Unlock()
+			return platform.Result{}, err
+		}
+	}
+}
+
+// PeerStats snapshots every peer's counters in construction order.
+func (d *Dispatcher) PeerStats() []PeerStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	out := make([]PeerStats, len(d.peers))
+	for i, p := range d.peers {
+		out[i] = PeerStats{
+			Addr:     p.client.Addr(),
+			Cells:    p.cells,
+			Failures: p.failures,
+			InFlight: p.inflight,
+			Down:     now.Before(p.downTil),
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package remote turns zngd daemons into simulation backends: a
+// Client implements the experiments/campaign Runner interface against
+// one peer's HTTP JSON API, and a Dispatcher (dispatcher.go) shards
+// cells across N peers — health-checked, retried on peer failure,
+// balanced by least-in-flight work stealing — so several zngd
+// processes compose into one horizontally-scaled simulation fleet.
+// This is the FlashGraph/Gunrock split applied to the simulator
+// itself: the semantic layer (campaign specs, figure drivers) stays
+// single-image while execution fans out over commodity workers.
+//
+// A request carries the cell's full configuration, not just the
+// platform/mix/scale triple, so the peer computes exactly the cell
+// the caller addressed — the content key (store.CellKey) hashes the
+// same bytes on both sides, and a distributed campaign's results are
+// byte-identical to a local run under the canonical result encoding.
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/report"
+	"zng/internal/workload"
+)
+
+// PeerError marks a failure of the peer itself — unreachable,
+// draining (503), or replying garbage — as opposed to a deterministic
+// simulation error the peer reported. The dispatcher retries peer
+// errors on another worker; simulation errors it returns as-is, since
+// every peer would compute the same failure.
+type PeerError struct {
+	Peer string
+	Err  error
+}
+
+func (e *PeerError) Error() string { return fmt.Sprintf("remote: peer %s: %v", e.Peer, e.Err) }
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// runRequest mirrors the zngd POST /v1/run body (simsvc/api.go). The
+// cell's workload travels in the ad-hoc apps syntax derived from the
+// mix's content identity, so unregistered compositions work and a
+// registered scenario resolves to the same cell key on the peer; the
+// caller relabels the returned result with its own display name.
+type runRequest struct {
+	Platform string         `json:"platform"`
+	Apps     string         `json:"apps"`
+	Scale    float64        `json:"scale"`
+	Async    bool           `json:"async"`
+	Config   *config.Config `json:"config,omitempty"`
+}
+
+// DefaultTimeout bounds every individual HTTP round trip the client
+// makes. A simulation cell may take arbitrarily long, but no single
+// request does — Run submits asynchronously and polls, so a peer
+// that wedges mid-cell (as opposed to refusing connections) still
+// surfaces as a PeerError within one timeout instead of hanging the
+// caller forever.
+const DefaultTimeout = 30 * time.Second
+
+// Client is one zngd peer speaking the /v1 JSON API. It implements
+// the experiments/campaign Runner interface; every Run is one async
+// POST /v1/run carrying the full cell, followed by bounded status
+// polls to completion.
+type Client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+}
+
+// NewClient returns a client for a peer address ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{Timeout: DefaultTimeout},
+		poll: 50 * time.Millisecond,
+	}
+}
+
+// SetTimeout overrides the per-request timeout (tests use a short
+// one to exercise hung-peer detection quickly).
+func (c *Client) SetTimeout(d time.Duration) { c.hc.Timeout = d }
+
+// Addr reports the peer's base URL.
+func (c *Client) Addr() string { return c.base }
+
+// appsArg renders a mix as zngsim/zngd ad-hoc apps syntax: the
+// content ID with component separators swapped ("bfs1+gaus*1.5" ->
+// "bfs1,gaus*1.5").
+func appsArg(mix workload.Mix) string {
+	return strings.ReplaceAll(mix.ID(), "+", ",")
+}
+
+// envelope is the common reply shape of POST /v1/run and
+// GET /v1/jobs/{id}.
+type envelope struct {
+	Error string `json:"error"`
+	Job   struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	} `json:"job"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Run implements the Runner interface against the peer: submit the
+// cell asynchronously, poll its job to completion (every round trip
+// bounded by the client timeout, so a wedged peer faults instead of
+// hanging), decode the canonical result document, and relabel it
+// with the caller's mix name (aliasing scenarios share the remote
+// cell but keep their own labels, matching the local runners'
+// contract).
+func (c *Client) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	body, err := json.Marshal(runRequest{
+		Platform: kind.String(),
+		Apps:     appsArg(mix),
+		Scale:    scale,
+		Async:    true,
+		Config:   &cfg,
+	})
+	if err != nil {
+		return platform.Result{}, fmt.Errorf("remote: encoding request: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+	}
+	env, err := decodeEnvelope(resp)
+	if err != nil {
+		return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+	}
+	if resp.StatusCode != http.StatusAccepted || env.Job.ID == "" {
+		// 503 (draining), 4xx against this client's own request shape,
+		// or anything else unexpected: a peer-level fault the
+		// dispatcher can route around.
+		return platform.Result{}, &PeerError{Peer: c.base, Err: fmt.Errorf("submit status %d: %s", resp.StatusCode, errText(env))}
+	}
+
+	delay := c.poll
+	for {
+		resp, err := c.hc.Get(c.base + "/v1/jobs/" + env.Job.ID)
+		if err != nil {
+			return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+		}
+		env, err := decodeEnvelope(resp)
+		if err != nil {
+			return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+		}
+		switch {
+		case resp.StatusCode != http.StatusOK:
+			// Includes an evicted job id (404): the cell's outcome is
+			// no longer observable here, so let the dispatcher re-route.
+			return platform.Result{}, &PeerError{Peer: c.base, Err: fmt.Errorf("poll status %d: %s", resp.StatusCode, errText(env))}
+		case env.Job.State == "error":
+			// The peer ran the cell and the simulation itself failed —
+			// deterministic, so another peer would only repeat it.
+			return platform.Result{}, fmt.Errorf("remote: simulation failed on %s: %s", c.base, env.Job.Error)
+		case env.Job.State == "done":
+			r, err := report.DecodeResult(env.Result)
+			if err != nil {
+				return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+			}
+			if mix.Name != "" {
+				r.Workload = mix.Name
+			}
+			return r, nil
+		}
+		time.Sleep(delay)
+		// Back off toward one-second polls so long cells cost the peer
+		// little while tiny cells still round-trip fast.
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// decodeEnvelope reads one reply; an undecodable body (proxy page,
+// truncated reply) is an error whatever the status code said.
+func decodeEnvelope(resp *http.Response) (envelope, error) {
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return env, fmt.Errorf("undecodable reply (status %d): %w", resp.StatusCode, err)
+	}
+	return env, nil
+}
+
+func errText(env envelope) string {
+	if env.Error != "" {
+		return env.Error
+	}
+	return "no error body"
+}
+
+// Healthy probes the peer's /healthz endpoint with a short timeout.
+func (c *Client) Healthy() error {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Get(c.base + "/healthz")
+	if err != nil {
+		return &PeerError{Peer: c.base, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &PeerError{Peer: c.base, Err: fmt.Errorf("healthz status %d", resp.StatusCode)}
+	}
+	return nil
+}

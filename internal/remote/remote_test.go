@@ -1,0 +1,311 @@
+package remote_test
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/experiments"
+	"zng/internal/platform"
+	"zng/internal/remote"
+	"zng/internal/report"
+	"zng/internal/simsvc"
+	"zng/internal/workload"
+)
+
+// newPeer boots a real zngd handler (the same simsvc.NewHandler the
+// daemon serves) over a stub or real simulator.
+func newPeer(t testing.TB, sim simsvc.SimFunc, workers int) (*httptest.Server, *simsvc.Service) {
+	t.Helper()
+	svc := simsvc.New(simsvc.Config{Workers: workers, Simulate: sim})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(simsvc.NewHandler(svc, config.Default()))
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func testMix(t testing.TB, name string) workload.Mix {
+	t.Helper()
+	m, err := workload.MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClientRunRoundTrip: the client is a Runner against a live zngd
+// handler — the cell's full configuration travels with the request
+// and the result comes back relabeled for the caller's mix.
+func TestClientRunRoundTrip(t *testing.T) {
+	var (
+		mu      sync.Mutex
+		gotCfg  config.Config
+		gotMix  string
+		gotKind platform.Kind
+	)
+	srv, _ := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		mu.Lock()
+		gotCfg, gotMix, gotKind = cfg, mix.ID(), kind
+		mu.Unlock()
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 3.5, Cycles: 100, Insts: 350}, nil
+	}, 1)
+
+	c := remote.NewClient(srv.URL)
+	// A perturbed config must reach the peer's simulator exactly.
+	cfg := config.Default()
+	cfg.Flash.Channels = 8
+	cfg.Prefetch.HighWaste = 0.5
+	mix := testMix(t, "consol-2") // aliases bfs1-gaus: label must survive
+	res, err := c.Run(platform.ZnG, mix, 0.25, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotKind != platform.ZnG || gotMix != "bfs1+gaus" {
+		t.Errorf("peer simulated (%v, %q)", gotKind, gotMix)
+	}
+	if gotCfg != cfg {
+		t.Errorf("peer config diverged from the caller's:\n%+v\n%+v", gotCfg, cfg)
+	}
+	if res.IPC != 3.5 || res.Workload != "consol-2" || res.Kind != platform.ZnG {
+		t.Errorf("result = %+v, want IPC 3.5 relabeled consol-2", res)
+	}
+}
+
+// TestClientErrors: a simulation failure reported by the peer is a
+// plain error; a dead peer is a PeerError the dispatcher can route
+// around.
+func TestClientErrors(t *testing.T) {
+	srv, _ := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{}, errors.New("simulation deadlocked at tick 42")
+	}, 1)
+	c := remote.NewClient(srv.URL)
+	_, err := c.Run(platform.ZnG, testMix(t, "solo-bfs1"), 0.25, config.Default())
+	var pe *remote.PeerError
+	if err == nil || errors.As(err, &pe) {
+		t.Errorf("simulation failure = %v, want a non-peer error", err)
+	}
+	if !strings.Contains(err.Error(), "deadlocked") {
+		t.Errorf("error lost the peer's message: %v", err)
+	}
+
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	_, err = remote.NewClient(deadURL).Run(platform.ZnG, testMix(t, "solo-bfs1"), 0.25, config.Default())
+	if !errors.As(err, &pe) {
+		t.Errorf("dead peer error = %v, want PeerError", err)
+	}
+	if err := remote.NewClient(deadURL).Healthy(); !errors.As(err, &pe) {
+		t.Errorf("dead peer health = %v, want PeerError", err)
+	}
+	if err := remote.NewClient(srv.URL).Healthy(); err != nil {
+		t.Errorf("live peer health = %v", err)
+	}
+}
+
+// TestDispatcherFailover: with one live and one dead peer, every cell
+// still lands exactly once — on the live peer — and the dead peer is
+// marked down with its failures counted.
+func TestDispatcherFailover(t *testing.T) {
+	live, svc := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1.5}, nil
+	}, 2)
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+
+	d, err := remote.NewDispatcher([]string{deadURL, live.URL}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckHealth(); err == nil {
+		t.Error("CheckHealth missed the dead peer")
+	}
+
+	spec := campaign.Spec{Platforms: []string{"ZnG", "HybridGPU"}, Scenarios: []string{"solo-bfs1", "solo-gaus"}, Scales: []float64{0.5}}
+	out, err := campaign.Executor{Runner: d, Workers: 2}.Execute(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatalf("campaign failed despite a live peer: %v", err)
+	}
+	stats := d.PeerStats()
+	if stats[0].Addr != deadURL || stats[0].Cells != 0 || stats[0].Failures == 0 || !stats[0].Down {
+		t.Errorf("dead peer stats = %+v, want failures and down", stats[0])
+	}
+	if stats[1].Cells != 4 || stats[1].Failures != 0 {
+		t.Errorf("live peer stats = %+v, want all 4 cells", stats[1])
+	}
+	if svc.Stats().Sims != 4 {
+		t.Errorf("live peer simulated %d cells, want 4", svc.Stats().Sims)
+	}
+}
+
+// TestDispatcherAllPeersDown: when every peer faults the cell fails
+// with the joined peer errors rather than hanging.
+func TestDispatcherAllPeersDown(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	d, err := remote.NewDispatcher([]string{deadURL}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Run(platform.ZnG, testMix(t, "solo-bfs1"), 0.5, config.Default())
+	if err == nil || !strings.Contains(err.Error(), "all 1 peers failed") {
+		t.Errorf("error = %v, want all-peers failure", err)
+	}
+}
+
+// TestDistributedCampaignEqualsLocal is the acceptance criterion: a
+// campaign fanned out across two real zngd peers (each running the
+// real simulator) produces a result matrix byte-identical to the same
+// campaign executed locally through experiments.NewMemo(), and the
+// dispatcher's per-peer counters show both peers simulated at least
+// one cell.
+func TestDistributedCampaignEqualsLocal(t *testing.T) {
+	peerA, svcA := newPeer(t, nil, 1)
+	peerB, svcB := newPeer(t, nil, 1)
+
+	d, err := remote.NewDispatcher([]string{peerA.URL, peerB.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckHealth(); err != nil {
+		t.Fatal(err)
+	}
+	spec := campaign.Spec{
+		Name:      "dist",
+		Platforms: []string{"GDDR5", "Optane"},
+		Scenarios: []string{"solo-bfs1", "solo-gaus"},
+		Scales:    []float64{0.05},
+	}
+	distributed, err := campaign.Executor{Runner: d, Workers: 2}.Execute(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := distributed.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := campaign.Executor{Runner: experiments.NewMemo(), Workers: 2}.Execute(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-for-byte under the canonical result encoding, cell by cell.
+	for i := range local.Cells {
+		a := report.EncodeResult(local.Cells[i].Result)
+		b := report.EncodeResult(distributed.Cells[i].Result)
+		if !bytes.Equal(a, b) {
+			t.Errorf("cell %d (%s on %s) differs:\nlocal:  %s\nremote: %s",
+				i, local.Cells[i].Cell.Kind, local.Cells[i].Cell.Mix.Name, a, b)
+		}
+	}
+	// The folded matrices agree too.
+	if a, b := report.JSON(local.Table()), report.JSON(distributed.Table()); !bytes.Equal(a, b) {
+		t.Errorf("matrix differs:\nlocal:\n%s\nremote:\n%s", a, b)
+	}
+
+	// Every cell landed exactly once, spread across both peers.
+	stats := d.PeerStats()
+	var total uint64
+	for _, p := range stats {
+		total += p.Cells
+		if p.Failures != 0 {
+			t.Errorf("peer %s recorded %d failures", p.Addr, p.Failures)
+		}
+	}
+	if total != uint64(len(spec.Platforms)*len(spec.Scenarios)) {
+		t.Errorf("peers served %d cells, want %d exactly once each", total, len(spec.Platforms)*len(spec.Scenarios))
+	}
+	if stats[0].Cells == 0 || stats[1].Cells == 0 {
+		t.Errorf("work stealing left a peer idle: %+v", stats)
+	}
+	if svcA.Stats().Sims == 0 || svcB.Stats().Sims == 0 {
+		t.Errorf("peer services simulated %d/%d cells, want both > 0", svcA.Stats().Sims, svcB.Stats().Sims)
+	}
+}
+
+// TestDispatcherRoundRobinsSerializedCells: with fully serialized
+// execution (one cell in flight at a time) equal-inflight ties must
+// rotate across the fleet rather than starving every peer but the
+// first.
+func TestDispatcherRoundRobinsSerializedCells(t *testing.T) {
+	peerA, _ := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1}, nil
+	}, 1)
+	peerB, _ := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1}, nil
+	}, 1)
+	d, err := remote.NewDispatcher([]string{peerA.URL, peerB.URL}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := campaign.Spec{Platforms: []string{"ZnG", "HybridGPU"}, Scenarios: []string{"solo-bfs1", "solo-gaus"}, Scales: []float64{0.5}}
+	out, err := campaign.Executor{Runner: d, Workers: 1}.Execute(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Err(); err != nil {
+		t.Fatal(err)
+	}
+	stats := d.PeerStats()
+	if stats[0].Cells != 2 || stats[1].Cells != 2 {
+		t.Errorf("serialized cells split %d/%d across peers, want 2/2 round-robin", stats[0].Cells, stats[1].Cells)
+	}
+}
+
+// TestDispatcherRoutesAroundHungPeer: a peer that accepts connections
+// but never answers (wedged, not refused) must surface as a PeerError
+// within one client timeout — and the dispatcher then lands the cell
+// on a live peer instead of hanging the campaign forever.
+func TestDispatcherRoutesAroundHungPeer(t *testing.T) {
+	release := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold every request open until the test ends
+	}))
+	defer hang.Close()
+	defer close(release) // LIFO: unwedge the handlers, then Close can drain
+	live, svc := newPeer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 2}, nil
+	}, 1)
+
+	hungClient := remote.NewClient(hang.URL)
+	hungClient.SetTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := hungClient.Run(platform.ZnG, testMix(t, "solo-bfs1"), 0.5, config.Default())
+	var pe *remote.PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("hung peer error = %v, want PeerError", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hung peer took %v to fault, want about one client timeout", elapsed)
+	}
+
+	d, err := remote.NewDispatcher([]string{hang.URL, live.URL}, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetTimeout(100 * time.Millisecond)
+	res, err := d.Run(platform.ZnG, testMix(t, "solo-bfs1"), 0.5, config.Default())
+	if err != nil || res.IPC != 2 {
+		t.Fatalf("dispatcher did not route around the hung peer: %v, %+v", err, res)
+	}
+	if svc.Stats().Sims != 1 {
+		t.Errorf("live peer simulated %d cells, want 1", svc.Stats().Sims)
+	}
+}

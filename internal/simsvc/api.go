@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/experiments"
 	"zng/internal/platform"
@@ -25,6 +26,15 @@ type runRequest struct {
 	// Async returns 202 with the job immediately instead of waiting
 	// for the result; poll GET /v1/jobs/{id}.
 	Async bool `json:"async,omitempty"`
+	// Config, when present, is decoded over a copy of the daemon's
+	// base configuration, so absent fields inherit the base instead of
+	// silently zeroing (a partial {"flash":{"channels":8}} means
+	// base-plus-8-channels, matching the campaign Override semantics).
+	// internal/remote sends every field, so a full config — the exact
+	// cell a campaign addressed — passes through unchanged and both
+	// sides hash the same cell key, keeping distributed results
+	// byte-identical to local ones.
+	Config *config.Config `json:"config,omitempty"`
 }
 
 // runResponse is the POST /v1/run reply. Result is the
@@ -43,27 +53,46 @@ type scenarioInfo struct {
 }
 
 // NewHandler builds the zngd HTTP JSON API over one service. cfg is
-// the simulation configuration every request runs under (the daemon
+// the base simulation configuration requests run under (the daemon
 // passes Table I defaults); requests choose platform, workload, scale
-// and priority.
+// and priority, and may carry a full config of their own.
 //
-//	POST /v1/run        run (or enqueue) one simulation cell
-//	GET  /v1/jobs       list jobs in submission order
-//	GET  /v1/jobs/{id}  one job's status
-//	GET  /v1/scenarios  the workload scenario registry
-//	GET  /v1/platforms  the platform vocabulary
-//	GET  /healthz       liveness
-//	GET  /metrics       expvar-style counters
+//	POST /v1/run             run (or enqueue) one simulation cell
+//	GET  /v1/jobs            list jobs in submission order
+//	GET  /v1/jobs/{id}       one job's status
+//	POST /v1/campaigns       start a declarative sweep (202 + campaign id)
+//	GET  /v1/campaigns       list campaigns with live progress
+//	GET  /v1/campaigns/{id}  one campaign's progress (+ matrix once done)
+//	GET  /v1/scenarios       the workload scenario registry
+//	GET  /v1/platforms       the platform vocabulary
+//	GET  /healthz            liveness
+//	GET  /metrics            expvar-style counters
+//
+// Every reply — success, validation failure, unknown path, wrong
+// method — is a JSON document; errors are {"error": ...} with the
+// matching status code, so clients never have to parse a text/plain
+// fallback.
 func NewHandler(svc *Service, cfg config.Config) http.Handler {
 	mux := http.NewServeMux()
+	mgr := campaign.NewManager(svc, cfg, 0)
 
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
 		var req runRequest
+		// Pre-seed the config target with the base configuration: a
+		// request's "config" object decodes over it, so unspecified
+		// fields inherit the base rather than zeroing, and an absent
+		// "config" leaves the seed (= the base) in place. Either way
+		// req.Config is the effective cell configuration afterwards.
+		seeded := cfg
+		req.Config = &seeded
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
+		}
+		if req.Config == nil { // an explicit "config": null
+			req.Config = &seeded
 		}
 		kind, err := platform.KindByName(req.Platform)
 		if err != nil {
@@ -94,19 +123,24 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("scale must be positive, got %v", scale))
 			return
 		}
-		id, err := svc.Submit(Request{Kind: kind, Mix: mix, Scale: scale, Cfg: cfg, Priority: req.Priority})
-		if err != nil {
-			// Only shutdown rejects a well-formed submission.
-			writeErr(w, http.StatusServiceUnavailable, err)
-			return
-		}
+		request := Request{Kind: kind, Mix: mix, Scale: scale, Cfg: *req.Config, Priority: req.Priority}
 		if req.Async {
-			job, _ := svc.Job(id)
+			job, err := svc.SubmitJob(request)
+			if err != nil {
+				// Only shutdown rejects a well-formed submission.
+				writeErr(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			writeJSON(w, http.StatusAccepted, runResponse{Job: job})
 			return
 		}
-		res, err := svc.Await(id)
-		job, _ := svc.Job(id)
+		// DoJob holds the job across the wait, so a retention eviction
+		// between completion and reply cannot lose the result.
+		res, job, err := svc.DoJob(request)
+		if errors.Is(err, ErrClosed) && job.ID == "" {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		if err != nil {
 			status := http.StatusInternalServerError
 			if errors.Is(err, ErrClosed) {
@@ -118,7 +152,6 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 			}{err.Error(), job})
 			return
 		}
-		res.Workload = mix.Name
 		writeJSON(w, http.StatusOK, runResponse{Job: job, Result: report.EncodeResult(res)})
 	})
 
@@ -130,27 +163,84 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
-		job, ok := svc.Job(id)
+		// A completed job carries its result, so an async submitter can
+		// poll this endpoint to done and collect the document in one
+		// round trip. JobResult snapshots status and result in a single
+		// lookup, so retention eviction between the two cannot reply
+		// "done" without the document. The result is relabeled to the
+		// job's workload, matching the sync run path — a disk-served
+		// cell may carry the label of whoever first computed it,
+		// possibly an aliasing scenario.
+		job, res, ok := svc.JobResult(id)
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
-		// A completed job carries its result, so an async submitter can
-		// poll this endpoint to done and collect the document in one
-		// round trip (Await on a done job returns immediately). The
-		// result is relabeled to the job's workload, matching the sync
-		// run path — a disk-served cell may carry the label of whoever
-		// first computed it, possibly an aliasing scenario.
 		resp := runResponse{Job: job}
 		if job.State == StateDone {
-			if res, err := svc.Await(id); err == nil {
-				if job.Workload != "" {
-					res.Workload = job.Workload
-				}
-				resp.Result = report.EncodeResult(res)
+			if job.Workload != "" {
+				res.Workload = job.Workload
 			}
+			resp.Result = report.EncodeResult(res)
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec campaign.Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding campaign spec: %w", err))
+			return
+		}
+		c, err := mgr.Start(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, struct {
+			Campaign campaignInfo `json:"campaign"`
+		}{campaignStatus(c)})
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		list := mgr.List()
+		out := make([]campaignInfo, len(list))
+		for i, c := range list {
+			out[i] = campaignStatus(c)
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Campaigns []campaignInfo `json:"campaigns"`
+		}{out})
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		c, ok := mgr.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+			return
+		}
+		detail := campaignDetail{campaignInfo: campaignStatus(c)}
+		// A finished campaign carries the folded result matrix (the
+		// same table zngsweep prints) and any per-cell failures, so
+		// one poll-to-done loop collects everything.
+		if out := c.Outcome(); out != nil {
+			detail.Table = report.JSON(out.Table())
+			for _, cr := range out.Cells {
+				if cr.Err != nil {
+					detail.Errors = append(detail.Errors, campaignCellError{
+						Platform: cr.Cell.Kind.String(),
+						Scenario: cr.Cell.Mix.Name,
+						Scale:    cr.Cell.Scale,
+						Config:   cr.Cell.Override.Label(),
+						Error:    cr.Err.Error(),
+					})
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, detail)
 	})
 
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +270,68 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeJSON(w, http.StatusOK, metrics(svc))
 	})
 
+	// Unmatched paths fall through to "/": a structured 404 instead of
+	// the ServeMux's text/plain page. Method mismatches on known paths
+	// land on the method-less patterns below (the method-bearing ones
+	// above are more specific and win their verb), yielding a
+	// structured 405 with the Allow header intact.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
+	})
+	for pattern, allow := range map[string]string{
+		"/v1/run":            "POST",
+		"/v1/jobs":           "GET",
+		"/v1/jobs/{id}":      "GET",
+		"/v1/campaigns":      "GET, POST",
+		"/v1/campaigns/{id}": "GET",
+		"/v1/scenarios":      "GET",
+		"/v1/platforms":      "GET",
+		"/healthz":           "GET",
+		"/metrics":           "GET",
+	} {
+		allow := allow
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeErr(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+		})
+	}
+
 	return mux
+}
+
+// campaignInfo is the campaign status envelope shared by the list,
+// detail and start replies.
+type campaignInfo struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name,omitempty"`
+	State    string            `json:"state"` // "running" or "done"
+	Progress campaign.Progress `json:"progress"`
+}
+
+// campaignDetail extends the status with the finished campaign's
+// result matrix and per-cell failures.
+type campaignDetail struct {
+	campaignInfo
+	Errors []campaignCellError `json:"errors,omitempty"`
+	Table  json.RawMessage     `json:"table,omitempty"`
+}
+
+// campaignCellError locates one failed cell in the grid.
+type campaignCellError struct {
+	Platform string  `json:"platform"`
+	Scenario string  `json:"scenario"`
+	Scale    float64 `json:"scale"`
+	Config   string  `json:"config"`
+	Error    string  `json:"error"`
+}
+
+func campaignStatus(c *campaign.Campaign) campaignInfo {
+	state := "running"
+	if c.Done() {
+		state = "done"
+	}
+	return campaignInfo{ID: c.ID, Name: c.Spec.Name, State: state, Progress: c.Progress()}
 }
 
 // metricsDoc is the /metrics document: the runner counters plus job
@@ -195,16 +346,18 @@ type metricsDoc struct {
 	JobsRunning  int    `json:"jobs_running"`
 	JobsDone     int    `json:"jobs_done"`
 	JobsError    int    `json:"jobs_error"`
+	JobsEvicted  uint64 `json:"jobs_evicted"`
 	StoreEntries int    `json:"store_entries"`
 }
 
 func metrics(svc *Service) metricsDoc {
 	st := svc.Stats()
 	doc := metricsDoc{
-		Sims:       st.Sims,
-		MemoryHits: st.MemoryHits,
-		DiskHits:   st.DiskHits,
-		Coalesced:  st.Coalesced,
+		Sims:        st.Sims,
+		MemoryHits:  st.MemoryHits,
+		DiskHits:    st.DiskHits,
+		Coalesced:   st.Coalesced,
+		JobsEvicted: svc.EvictedJobs(),
 	}
 	for _, j := range svc.Jobs() {
 		doc.JobsTotal++

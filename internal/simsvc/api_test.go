@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -289,5 +290,217 @@ func TestAPIRunRealSimulation(t *testing.T) {
 	}
 	if result.IPC <= 0 {
 		t.Errorf("real simulation IPC = %v, want positive", result.IPC)
+	}
+}
+
+// TestAPIStructuredErrors audits the error contract: every failure
+// path — unknown job, unknown campaign, unknown path, wrong method —
+// returns a JSON {"error": ...} body with the right status code,
+// never the ServeMux's text/plain fallback.
+func TestAPIStructuredErrors(t *testing.T) {
+	srv, _ := newTestServer(t, fixedSim(1))
+	for name, tc := range map[string]struct {
+		method, path string
+		status       int
+	}{
+		"unknown job":          {"GET", "/v1/jobs/job-999", http.StatusNotFound},
+		"unknown campaign":     {"GET", "/v1/campaigns/c-999", http.StatusNotFound},
+		"unknown path":         {"GET", "/v1/nope", http.StatusNotFound},
+		"root path":            {"GET", "/", http.StatusNotFound},
+		"run wrong method":     {"GET", "/v1/run", http.StatusMethodNotAllowed},
+		"jobs wrong method":    {"DELETE", "/v1/jobs", http.StatusMethodNotAllowed},
+		"job id wrong method":  {"POST", "/v1/jobs/job-1", http.StatusMethodNotAllowed},
+		"metrics wrong method": {"POST", "/metrics", http.StatusMethodNotAllowed},
+		"campaign bad method":  {"DELETE", "/v1/campaigns", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Error string `json:"error"`
+		}
+		ct := resp.Header.Get("Content-Type")
+		decErr := json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.status)
+		}
+		if ct != "application/json" {
+			t.Errorf("%s: content type %q, want application/json", name, ct)
+		}
+		if decErr != nil || doc.Error == "" {
+			t.Errorf("%s: body is not a structured error (%v)", name, decErr)
+		}
+		if tc.status == http.StatusMethodNotAllowed && resp.Header.Get("Allow") == "" {
+			t.Errorf("%s: 405 without an Allow header", name)
+		}
+	}
+}
+
+// TestAPIRunWithConfig: a request carrying a full config simulates
+// under exactly that config — the remote client's contract.
+func TestAPIRunWithConfig(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		gotCfg config.Config
+	)
+	srv, _ := newTestServer(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		mu.Lock()
+		gotCfg = cfg
+		mu.Unlock()
+		return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1}, nil
+	})
+	cfg := config.Default()
+	cfg.Flash.Channels = 4
+	body, err := json.Marshal(struct {
+		Platform string        `json:"platform"`
+		Mix      string        `json:"mix"`
+		Scale    float64       `json:"scale"`
+		Config   config.Config `json:"config"`
+	}{"ZnG", "betw-back", 0.5, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, doc := postRun(t, srv.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	mu.Lock()
+	if gotCfg != cfg {
+		t.Errorf("simulated config diverged from the request's (channels = %d, want 4)", gotCfg.Flash.Channels)
+	}
+	mu.Unlock()
+
+	// A partial config merges over the daemon's base: unspecified
+	// fields inherit instead of zeroing (which would simulate a
+	// degenerate machine and cache the garbage result).
+	resp, doc = postRun(t, srv.URL, `{"platform":"ZnG","mix":"pr-gaus","scale":0.5,"config":{"Flash":{"Channels":8}}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial config status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := config.Default()
+	want.Flash.Channels = 8
+	if gotCfg != want {
+		t.Errorf("partial config did not merge over the base: GPU.SMs = %d, Channels = %d (want %d, 8)",
+			gotCfg.GPU.SMs, gotCfg.Flash.Channels, want.GPU.SMs)
+	}
+}
+
+// TestAPICampaignLifecycle drives a campaign end-to-end over HTTP:
+// POST the spec, poll the id to done, and collect the folded matrix.
+func TestAPICampaignLifecycle(t *testing.T) {
+	srv, svc := newTestServer(t, fixedSim(2.5))
+
+	spec := `{"name":"api","platforms":["ZnG","HybridGPU"],"scenarios":["solo-bfs1","solo-gaus"],"scales":[0.5]}`
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", bytes.NewBufferString(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started struct {
+		Campaign struct {
+			ID       string `json:"id"`
+			State    string `json:"state"`
+			Progress struct {
+				Total int `json:"total"`
+			} `json:"progress"`
+		} `json:"campaign"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&started)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	if started.Campaign.ID == "" || started.Campaign.Progress.Total != 4 {
+		t.Fatalf("campaign = %+v", started.Campaign)
+	}
+
+	// Poll to done and collect the matrix.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var detail struct {
+			State    string `json:"state"`
+			Progress struct {
+				Done   int `json:"done"`
+				Failed int `json:"failed"`
+			} `json:"progress"`
+			Table json.RawMessage `json:"table"`
+		}
+		if code := getJSON(t, srv.URL+"/v1/campaigns/"+started.Campaign.ID, &detail); code != http.StatusOK {
+			t.Fatalf("campaign status %d", code)
+		}
+		if detail.State == "done" {
+			if detail.Progress.Done != 4 || detail.Progress.Failed != 0 {
+				t.Errorf("final progress = %+v", detail.Progress)
+			}
+			var table struct {
+				Title  string     `json:"title"`
+				Header []string   `json:"header"`
+				Rows   [][]string `json:"rows"`
+			}
+			if err := json.Unmarshal(detail.Table, &table); err != nil {
+				t.Fatalf("done campaign carries no decodable table: %v", err)
+			}
+			if table.Title != "api" || len(table.Rows) != 2 || len(table.Header) != 3 {
+				t.Errorf("table = %+v, want 2 scenario rows x 2 platform columns", table)
+			}
+			if table.Rows[0][1] != "2.5" {
+				t.Errorf("matrix cell = %q, want the stub IPC 2.5", table.Rows[0][1])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The campaign ran through the shared service: its cells are jobs.
+	if st := svc.Stats(); st.Sims != 4 {
+		t.Errorf("service stats = %+v, want the campaign's 4 unique sims", st)
+	}
+
+	// The list endpoint sees it.
+	var list struct {
+		Campaigns []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"campaigns"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/campaigns", &list); code != http.StatusOK {
+		t.Fatalf("campaign list status %d", code)
+	}
+	if len(list.Campaigns) != 1 || list.Campaigns[0].ID != started.Campaign.ID || list.Campaigns[0].State != "done" {
+		t.Errorf("campaign list = %+v", list.Campaigns)
+	}
+
+	// Bad specs are structured 400s.
+	for name, body := range map[string]string{
+		"empty spec":       `{}`,
+		"unknown platform": `{"platforms":["GTX9000"],"scenarios":["solo-bfs1"]}`,
+		"unknown field":    `{"platformz":["ZnG"]}`,
+		"malformed":        `{"platforms":`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || decErr != nil || doc.Error == "" {
+			t.Errorf("%s: status %d, err %v, body %+v; want structured 400", name, resp.StatusCode, decErr, doc)
+		}
 	}
 }

@@ -20,13 +20,14 @@
 // (queued, running, done, error) — the unit the zngd HTTP API
 // (api.go) exposes.
 //
-// Known scaling limit: jobs (and their in-memory results) are
-// retained for the service's lifetime — that is what makes the
-// memory layer a memo and job status durable — so a very long-lived
-// daemon over an unbounded request vocabulary grows without bound.
-// Bounded retention/eviction (safe here: the store can re-serve
-// evicted cells from disk) is deliberately left to the next scaling
-// PR; see ROADMAP.md.
+// Retention is bounded: with Config.MaxJobs set, completed jobs past
+// the bound are evicted oldest-first — done jobs only once their
+// result is persisted in the store (an evicted cell re-serves from
+// disk as a DiskHit), failed jobs unconditionally (a deterministic
+// failure recomputes identically). Queued and running jobs are never
+// evicted, and a memory-only service (no store) never evicts done
+// results, so the memo contract degrades only where disk can back it
+// up. Eviction counts surface as jobs_evicted in /metrics.
 package simsvc
 
 import (
@@ -61,6 +62,10 @@ type Config struct {
 	Workers int
 	// Simulate overrides the simulation function (nil = platform.RunMix).
 	Simulate SimFunc
+	// MaxJobs bounds retained completed jobs (0 = unbounded). Past the
+	// bound, the oldest evictable jobs — done-and-persisted, or failed
+	// — are dropped from memory; their cells re-serve from the store.
+	MaxJobs int
 }
 
 // State is a job's lifecycle phase.
@@ -117,6 +122,10 @@ type job struct {
 	done    chan struct{}
 	res     platform.Result
 	err     error
+	// persisted records that the result is safely in the store (read
+	// from it, or written through successfully), making the job
+	// evictable: a future request re-serves the cell from disk.
+	persisted bool
 }
 
 func (j *job) info() JobInfo {
@@ -139,8 +148,9 @@ func (j *job) info() JobInfo {
 
 // Service is the coalescing scheduler. Safe for concurrent use.
 type Service struct {
-	st  *store.Store
-	sim SimFunc
+	st      *store.Store
+	sim     SimFunc
+	maxJobs int
 
 	mu     sync.Mutex
 	cond   *sync.Cond // queue became non-empty, or the service closed
@@ -150,8 +160,14 @@ type Service struct {
 	order  []*job          // submission order, for listing
 	nextID uint64
 	stats  experiments.RunnerStats
-	closed bool
-	wg     sync.WaitGroup
+	// evictable counts retained jobs eligible for eviction, so a
+	// memory-only service (where done jobs are never evictable) skips
+	// the retention scan entirely instead of walking an ever-growing
+	// order slice on every completion.
+	evictable int
+	evicted   uint64
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // New starts a service with cfg.Workers worker goroutines. Close it
@@ -164,10 +180,11 @@ func New(cfg Config) *Service {
 		cfg.Simulate = platform.RunMix
 	}
 	s := &Service{
-		st:    cfg.Store,
-		sim:   cfg.Simulate,
-		cells: map[string]*job{},
-		jobs:  map[string]*job{},
+		st:      cfg.Store,
+		sim:     cfg.Simulate,
+		maxJobs: cfg.MaxJobs,
+		cells:   map[string]*job{},
+		jobs:    map[string]*job{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -181,12 +198,28 @@ func New(cfg Config) *Service {
 // satisfy it — an existing one when the cell is already completed in
 // memory (a memory hit) or in flight (a coalesced attach), a fresh
 // queued one otherwise. Submit never blocks on simulation work.
+//
+// With MaxJobs retention the returned id may be evicted at any time
+// after the job completes; Await on an evicted id fails. In-process
+// callers that must not race retention use Do/DoJob, which hold the
+// job itself rather than re-resolving the id.
 func (s *Service) Submit(req Request) (string, error) {
+	j, err := s.submit(req)
+	if err != nil {
+		return "", err
+	}
+	return j.id, nil
+}
+
+// submit is the admission core: it returns the owning job itself, so
+// internal callers keep a live reference that eviction cannot
+// invalidate.
+func (s *Service) submit(req Request) (*job, error) {
 	key := store.CellKey(req.Kind, req.Mix.ID(), req.Scale, req.Cfg)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return "", ErrClosed
+		return nil, ErrClosed
 	}
 	if j, ok := s.cells[key]; ok {
 		select {
@@ -203,7 +236,7 @@ func (s *Service) Submit(req Request) (string, error) {
 				heap.Fix(&s.queue, j.idx)
 			}
 		}
-		return j.id, nil
+		return j, nil
 	}
 	s.nextID++
 	j := &job{
@@ -219,7 +252,7 @@ func (s *Service) Submit(req Request) (string, error) {
 	s.order = append(s.order, j)
 	heap.Push(&s.queue, j)
 	s.cond.Signal()
-	return j.id, nil
+	return j, nil
 }
 
 // Await blocks until the job finishes and returns its result. The
@@ -239,17 +272,42 @@ func (s *Service) Await(id string) (platform.Result, error) {
 // Do is the synchronous request path: submit, wait, and relabel the
 // result with the name the caller asked under (aliasing scenarios
 // share cells but keep their own labels, matching the experiments
-// memo's contract).
+// memo's contract). Do holds the job directly, so MaxJobs retention
+// can never evict a result out from under a waiting caller.
 func (s *Service) Do(req Request) (platform.Result, error) {
-	id, err := s.Submit(req)
+	res, _, err := s.DoJob(req)
+	return res, err
+}
+
+// DoJob is Do plus the satisfied job's final snapshot, for callers
+// (the HTTP sync path) that report job metadata alongside the result.
+func (s *Service) DoJob(req Request) (platform.Result, JobInfo, error) {
+	j, err := s.submit(req)
 	if err != nil {
-		return platform.Result{}, err
+		return platform.Result{}, JobInfo{}, err
 	}
-	res, err := s.Await(id)
-	if err == nil && req.Mix.Name != "" {
+	<-j.done
+	s.mu.Lock()
+	info := j.info()
+	s.mu.Unlock()
+	res := j.res
+	if j.err == nil && req.Mix.Name != "" {
 		res.Workload = req.Mix.Name
 	}
-	return res, err
+	return res, info, j.err
+}
+
+// SubmitJob is Submit plus the admitted job's snapshot taken at
+// admission time, so async callers get consistent metadata even if
+// retention evicts the job before they poll.
+func (s *Service) SubmitJob(req Request) (JobInfo, error) {
+	j, err := s.submit(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.info(), nil
 }
 
 // Run implements experiments.Runner at default priority — the single
@@ -267,6 +325,27 @@ func (s *Service) Job(id string) (JobInfo, bool) {
 		return JobInfo{}, false
 	}
 	return j.info(), true
+}
+
+// JobResult snapshots one job by id and — when it is done — its
+// result, in a single lookup, so a retention eviction between
+// "observe done" and "read result" cannot lose the result the way a
+// Job-then-Await pair would (the HTTP poll endpoint's contract).
+func (s *Service) JobResult(id string) (JobInfo, platform.Result, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobInfo{}, platform.Result{}, false
+	}
+	info := j.info()
+	s.mu.Unlock()
+	if info.State != StateDone {
+		return info, platform.Result{}, true
+	}
+	// res was published before state flipped to done (finish holds the
+	// lock for both), so having observed done we may read it lock-free.
+	return info, j.res, true
 }
 
 // Jobs snapshots every job in submission order.
@@ -302,6 +381,7 @@ func (s *Service) Close() {
 		for _, j := range s.queue {
 			j.err = ErrClosed
 			j.state = StateError
+			s.evictable++
 			close(j.done)
 		}
 		s.queue = nil
@@ -330,30 +410,51 @@ func (s *Service) worker() {
 
 		if s.st != nil {
 			if r, ok := s.st.Get(j.key); ok {
-				s.finish(j, r, nil, "disk")
+				s.finish(j, r, nil, "disk", true)
 				continue
 			}
 		}
-		r, err := s.sim(j.req.Kind, j.req.Mix, j.req.Scale, j.req.Cfg)
+		r, err := s.runCell(j)
+		persisted := false
 		if err == nil && s.st != nil {
 			// A failed write-through only costs a future re-simulation;
-			// the in-memory result this job now carries stays valid.
-			_ = s.st.Put(j.key, r)
+			// the in-memory result this job now carries stays valid (but
+			// the job is not evictable — disk could not back it up).
+			persisted = s.st.Put(j.key, r) == nil
 		}
-		s.finish(j, r, err, "sim")
+		s.finish(j, r, err, "sim", persisted)
 	}
 }
 
-// finish publishes a job's outcome and wakes its waiters.
-func (s *Service) finish(j *job, r platform.Result, err error, source string) {
+// runCell invokes the simulator for one job, converting a panic —
+// e.g. a degenerate client-supplied configuration dividing by zero
+// deep inside a model (the zngd /v1/run "config" field is arbitrary
+// caller input) — into a deterministic job error instead of killing
+// the worker goroutine and with it the whole daemon.
+func (s *Service) runCell(j *job) (r platform.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simsvc: simulation panicked: %v", p)
+		}
+	}()
+	return s.sim(j.req.Kind, j.req.Mix, j.req.Scale, j.req.Cfg)
+}
+
+// finish publishes a job's outcome, wakes its waiters, and evicts
+// past the retention bound.
+func (s *Service) finish(j *job, r platform.Result, err error, source string, persisted bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.res, j.err = r, err
 	j.source = source
+	j.persisted = persisted
 	if err != nil {
 		j.state = StateError
 	} else {
 		j.state = StateDone
+	}
+	if s.jobEvictable(j) {
+		s.evictable++
 	}
 	switch source {
 	case "disk":
@@ -362,6 +463,54 @@ func (s *Service) finish(j *job, r platform.Result, err error, source string) {
 		s.stats.Sims++
 	}
 	close(j.done)
+	s.evictLocked()
+}
+
+// jobEvictable reports whether a job's in-memory copy is redundant: a
+// done job whose result the store holds (the cell re-serves from
+// disk), or a failed job (the deterministic failure recomputes).
+func (s *Service) jobEvictable(j *job) bool {
+	return (j.state == StateDone && j.persisted) || j.state == StateError
+}
+
+// evictLocked drops the oldest evictable jobs until at most maxJobs
+// remain. Evictable means the job's in-memory copy is redundant: a
+// done job whose result the store holds (the cell re-serves from
+// disk), or a failed job (the deterministic failure recomputes).
+// Queued, running, and done-but-unpersisted jobs always stay.
+func (s *Service) evictLocked() {
+	if s.maxJobs <= 0 || len(s.order) <= s.maxJobs || s.evictable == 0 {
+		return
+	}
+	excess := len(s.order) - s.maxJobs
+	keep := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && s.jobEvictable(j) {
+			delete(s.jobs, j.id)
+			if s.cells[j.key] == j {
+				delete(s.cells, j.key)
+			}
+			s.evictable--
+			s.evicted++
+			excess--
+			continue
+		}
+		keep = append(keep, j)
+	}
+	// Zero the freed tail so evicted jobs do not linger reachable
+	// through the backing array.
+	for i := len(keep); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = keep
+}
+
+// EvictedJobs reports how many completed jobs retention has dropped
+// from memory — the jobs_evicted gauge in /metrics.
+func (s *Service) EvictedJobs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
 
 // jobQueue is the pending-job heap: highest priority first, FIFO

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -479,5 +480,191 @@ func TestErrorsAreCachedInMemory(t *testing.T) {
 	}
 	if st := svc.Stats(); st.MemoryHits != 1 {
 		t.Errorf("stats = %+v, want the retry counted as a memory hit", st)
+	}
+}
+
+// TestRetentionEvictsPersistedJobs: past MaxJobs, the oldest
+// done-and-persisted jobs leave memory; their cells re-serve from the
+// store as disk hits, not re-simulations.
+func TestRetentionEvictsPersistedJobs(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &stubSim{res: platform.Result{IPC: 2}}
+	svc := New(Config{Store: st, Workers: 1, Simulate: sim.fn, MaxJobs: 2})
+	defer svc.Close()
+
+	cfg := config.Default()
+	mixes := []string{"solo-bfs1", "solo-gaus", "solo-pr", "solo-back"}
+	for _, name := range mixes {
+		if _, err := svc.Do(Request{Kind: platform.ZnG, Mix: testMix(t, name), Scale: 0.5, Cfg: cfg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(svc.Jobs()); got != 2 {
+		t.Errorf("retained jobs = %d, want the MaxJobs bound of 2", got)
+	}
+	if got := svc.EvictedJobs(); got != 2 {
+		t.Errorf("evicted = %d, want 2", got)
+	}
+	// The oldest jobs went first: their ids are gone, the newest stay.
+	if _, ok := svc.Job("job-1"); ok {
+		t.Error("oldest job survived eviction")
+	}
+	if _, ok := svc.Job("job-4"); !ok {
+		t.Error("newest job was evicted")
+	}
+
+	// An evicted cell re-serves from disk: no new simulation.
+	before := sim.count()
+	r, err := svc.Do(Request{Kind: platform.ZnG, Mix: testMix(t, mixes[0]), Scale: 0.5, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.count() != before {
+		t.Errorf("evicted cell re-simulated (%d -> %d calls), want disk serve", before, sim.count())
+	}
+	if stats := svc.Stats(); stats.DiskHits != 1 {
+		t.Errorf("stats = %+v, want one disk hit for the evicted cell", stats)
+	}
+	if r.IPC != 2 {
+		t.Errorf("disk-served IPC = %v", r.IPC)
+	}
+}
+
+// TestRetentionKeepsUnpersistedJobs: a memory-only service has no
+// disk to fall back on, so done jobs are never evicted regardless of
+// the bound — the memo contract only degrades where the store backs
+// it up. Failed jobs are evictable everywhere (a deterministic
+// failure recomputes identically).
+func TestRetentionKeepsUnpersistedJobs(t *testing.T) {
+	sim := &stubSim{res: platform.Result{IPC: 1}}
+	svc := New(Config{Workers: 1, Simulate: sim.fn, MaxJobs: 1})
+	defer svc.Close()
+	cfg := config.Default()
+	for _, name := range []string{"solo-bfs1", "solo-gaus", "solo-pr"} {
+		if _, err := svc.Do(Request{Kind: platform.ZnG, Mix: testMix(t, name), Scale: 0.5, Cfg: cfg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(svc.Jobs()); got != 3 {
+		t.Errorf("memory-only service retained %d jobs, want all 3 (nothing persisted)", got)
+	}
+	if svc.EvictedJobs() != 0 {
+		t.Errorf("memory-only service evicted %d jobs", svc.EvictedJobs())
+	}
+
+	// Error jobs evict even without a store.
+	failing := &stubSim{err: errors.New("deadlock")}
+	svc2 := New(Config{Workers: 1, Simulate: failing.fn, MaxJobs: 1})
+	defer svc2.Close()
+	for _, name := range []string{"solo-bfs1", "solo-gaus"} {
+		if _, err := svc2.Do(Request{Kind: platform.ZnG, Mix: testMix(t, name), Scale: 0.5, Cfg: cfg}); err == nil {
+			t.Fatal("want simulation error")
+		}
+	}
+	if got := len(svc2.Jobs()); got != 1 {
+		t.Errorf("failing service retained %d jobs, want 1", got)
+	}
+	if svc2.EvictedJobs() != 1 {
+		t.Errorf("failing service evicted %d, want 1", svc2.EvictedJobs())
+	}
+}
+
+// TestDoSurvivesEvictionChurn: Do holds the job it submitted, so
+// aggressive retention (MaxJobs=1) can never evict a result out from
+// under a waiting caller — the race a plain Submit+Await(id) pair
+// would have (the id lookup can miss after eviction).
+func TestDoSurvivesEvictionChurn(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &stubSim{res: platform.Result{IPC: 1}}
+	svc := New(Config{Store: st, Workers: 2, Simulate: sim.fn, MaxJobs: 1})
+	defer svc.Close()
+	cfg := config.Default()
+	mixes := []workload.Mix{testMix(t, "solo-bfs1"), testMix(t, "solo-gaus"), testMix(t, "solo-pr")}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				m := mixes[(g+i)%len(mixes)]
+				if r, err := svc.Do(Request{Kind: platform.ZnG, Mix: m, Scale: 0.5, Cfg: cfg}); err != nil {
+					errs <- err
+					return
+				} else if r.IPC != 1 {
+					errs <- errors.New("lost result under eviction churn")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("Do under eviction churn: %v", err)
+	}
+	if svc.EvictedJobs() == 0 {
+		t.Error("churn produced no evictions; the test exercised nothing")
+	}
+}
+
+// TestJobResultSingleLookup: JobResult reports status and result in
+// one snapshot — done jobs carry their result, unfinished and
+// unknown ids do not.
+func TestJobResultSingleLookup(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	sim := &stubSim{gate: gate, started: started, res: platform.Result{IPC: 6}}
+	svc := New(Config{Workers: 1, Simulate: sim.fn})
+	defer svc.Close()
+	id, err := svc.Submit(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 0.5, Cfg: config.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if info, _, ok := svc.JobResult(id); !ok || info.State == StateDone {
+		t.Errorf("in-flight JobResult = %+v, %v", info, ok)
+	}
+	close(gate)
+	if _, err := svc.Await(id); err != nil {
+		t.Fatal(err)
+	}
+	info, res, ok := svc.JobResult(id)
+	if !ok || info.State != StateDone || res.IPC != 6 {
+		t.Errorf("done JobResult = %+v, %+v, %v; want done with IPC 6", info, res, ok)
+	}
+	if _, _, ok := svc.JobResult("job-999"); ok {
+		t.Error("unknown id resolved")
+	}
+}
+
+// TestPanickingSimulationBecomesJobError: a panic inside a simulation
+// — reachable from outside via zngd's arbitrary "config" request
+// field — must fail that job deterministically, not kill the worker
+// (and with it the daemon).
+func TestPanickingSimulationBecomesJobError(t *testing.T) {
+	boom := func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		if cfg.GPU.SMs == 0 {
+			panic("integer divide by zero")
+		}
+		return platform.Result{IPC: 1}, nil
+	}
+	svc := New(Config{Workers: 1, Simulate: boom})
+	defer svc.Close()
+	bad := config.Config{}
+	if _, err := svc.Do(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 0.5, Cfg: bad}); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panicking cell error = %v, want a simulation-panicked job error", err)
+	}
+	// The worker survived: a sane request on the same service works.
+	if r, err := svc.Do(Request{Kind: platform.ZnG, Mix: testMix(t, "solo-bfs1"), Scale: 0.5, Cfg: config.Default()}); err != nil || r.IPC != 1 {
+		t.Fatalf("service dead after panic: %v, %+v", err, r)
 	}
 }

@@ -15,58 +15,31 @@
 package store
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"zng/internal/cellkey"
 	"zng/internal/config"
 	"zng/internal/platform"
 	"zng/internal/report"
 )
 
-// SchemaVersion stamps the key derivation. It participates in every
-// cell key, so bumping it — whenever the result encoding or the
-// meaning of any keyed input changes — invalidates all existing
-// entries at once instead of letting stale bytes decode into wrong
-// results.
-const SchemaVersion = 1
-
-// keyDoc is the canonically-encoded cell identity that gets hashed.
-// Struct fields marshal in declaration order and config.Config is a
-// flat value type (no maps, no pointers), so the encoding — and
-// therefore the key — is deterministic across processes.
-type keyDoc struct {
-	Schema int           `json:"schema"`
-	Kind   string        `json:"kind"`
-	Mix    string        `json:"mix"` // workload.Mix.ID(), the content identity
-	Scale  float64       `json:"scale"`
-	Cfg    config.Config `json:"cfg"`
-}
+// SchemaVersion stamps the key derivation; see cellkey.SchemaVersion
+// (the derivation lives in that leaf package so key-addressed layers
+// like internal/campaign can compute cell identities without this
+// package's result-codec dependencies).
+const SchemaVersion = cellkey.SchemaVersion
 
 // CellKey returns the content address of one simulation cell: the
 // hex SHA-256 of the canonical encoding of (schema version, kind,
 // mix ID, scale, full configuration). Mixes participate through
 // their ID rather than their display name, so aliasing scenarios
-// (consol-2 and bfs1-gaus, say) share one entry.
+// (consol-2 and bfs1-gaus, say) share one entry. The derivation is
+// cellkey.Key, shared with every other key-addressed layer.
 func CellKey(kind platform.Kind, mixID string, scale float64, cfg config.Config) string {
-	h := sha256.New()
-	if err := json.NewEncoder(h).Encode(keyDoc{
-		Schema: SchemaVersion,
-		Kind:   kind.String(),
-		Mix:    mixID,
-		Scale:  scale,
-		Cfg:    cfg,
-	}); err != nil {
-		// The only encodable failure here is a non-finite scale (JSON
-		// has no NaN/Inf); every entry point validates scale first, so
-		// reaching this is a caller bug worth failing loudly on.
-		panic(err)
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	return cellkey.Key(kind, mixID, scale, cfg)
 }
 
 // Store is one result cache directory. Methods are safe for
