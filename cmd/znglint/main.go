@@ -1,0 +1,99 @@
+// Command znglint runs the repository's invariant analyzers
+// (internal/lint) over Go packages and fails on any finding — the
+// multichecker CI's lint job drives.
+//
+//	znglint ./...                      # whole module (the CI gate)
+//	znglint ./internal/simsvc          # one package
+//	znglint -analyzers determinism,guardedby ./...
+//	znglint -list                      # what each analyzer enforces
+//
+// Diagnostics print as file:line:col: message (analyzer), sorted by
+// position, and the exit status is 1 when any were found — so the
+// tool slots into CI next to gofmt and go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zng/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: znglint [flags] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo-invariant analyzers over the packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			names := make([]string, 0, len(suite))
+			for _, a := range suite {
+				names = append(names, a.Name)
+			}
+			fmt.Fprintf(os.Stderr, "znglint: unknown analyzers %v (have: %s)\n",
+				mapKeys(keep), strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "znglint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "znglint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "znglint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "znglint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func mapKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

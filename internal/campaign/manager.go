@@ -48,12 +48,12 @@ const DefaultMaxCampaigns = 64
 type Manager struct {
 	exec Executor
 	base config.Config
-	max  int
+	max  int // guarded by mu (constructor-set, then only mutated via SetMaxCampaigns)
 
 	mu     sync.Mutex
-	nextID int
-	order  []*Campaign
-	byID   map[string]*Campaign
+	nextID int                  // guarded by mu
+	order  []*Campaign          // guarded by mu
+	byID   map[string]*Campaign // guarded by mu
 }
 
 // NewManager builds a manager that executes every campaign through

@@ -82,10 +82,10 @@ type runEntry struct {
 // values cannot observe each other's cells.
 type Memo struct {
 	mu        sync.Mutex
-	m         map[runKey]*runEntry
-	sims      uint64
-	memHits   uint64
-	coalesced uint64
+	m         map[runKey]*runEntry // guarded by mu
+	sims      uint64               // guarded by mu
+	memHits   uint64               // guarded by mu
+	coalesced uint64               // guarded by mu
 }
 
 // NewMemo returns an empty in-memory runner.

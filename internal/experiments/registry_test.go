@@ -1,95 +1,38 @@
 package experiments
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"zng/internal/lint"
 )
 
-// TestRegistryComplete parses every non-test source file of this
-// package and asserts a bijection between drivers (exported functions
-// whose first result is *stats.Table) and registry entries: every
-// driver is registered exactly once and every registered Driver name
-// exists. Adding a figure — in any file — without a registry entry
-// (or vice versa) fails here.
+// TestRegistryComplete delegates the driver/registry bijection — and
+// the scenario-constructor reachability check in internal/workload —
+// to the znglint registry analyzer, which replaced the go/parser
+// walk that used to live here. The analyzer is the authority (it is
+// also the CI gate); this test keeps the property wired into plain
+// `go test ./internal/experiments` and adds the one check static
+// analysis cannot do: every registry entry is runtime-complete.
 func TestRegistryComplete(t *testing.T) {
-	files, err := filepath.Glob("*.go")
+	pkgs, err := lint.Load(".", "zng/internal/experiments", "zng/internal/workload")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
-	drivers := map[string]bool{}
-	for _, file := range files {
-		if strings.HasSuffix(file, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, file, nil, 0)
-		if err != nil {
-			t.Fatalf("%s: %v", file, err)
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
-				continue
-			}
-			if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
-				continue
-			}
-			if isStatsTablePtr(fd.Type.Results.List[0].Type) {
-				drivers[fd.Name.Name] = true
-			}
-		}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.DefaultRegistry()})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(drivers) == 0 {
-		t.Fatal("found no drivers; parser broken?")
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 
-	registered := map[string]int{}
-	ids := map[string]int{}
 	for _, fig := range Registry() {
-		registered[fig.Driver]++
-		ids[fig.ID]++
 		if fig.ID == "" || fig.Ref == "" || fig.Title == "" || fig.Claim == "" ||
 			fig.Shape == "" || fig.Run == nil || fig.Check == nil {
 			t.Errorf("registry entry %q is incomplete: %+v", fig.ID, fig)
 		}
 	}
-	for id, n := range ids {
-		if n != 1 {
-			t.Errorf("figure id %q registered %d times", id, n)
-		}
-	}
-	for d := range drivers {
-		if registered[d] == 0 {
-			t.Errorf("driver %s has no registry entry", d)
-		}
-	}
-	for d, n := range registered {
-		if !drivers[d] {
-			t.Errorf("registry names driver %s, which no driver file defines", d)
-		}
-		if n != 1 {
-			t.Errorf("driver %s registered %d times", d, n)
-		}
-	}
-}
-
-// isStatsTablePtr reports whether an AST type expression is
-// *stats.Table.
-func isStatsTablePtr(e ast.Expr) bool {
-	star, ok := e.(*ast.StarExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := star.X.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Table" {
-		return false
-	}
-	pkg, ok := sel.X.(*ast.Ident)
-	return ok && pkg.Name == "stats"
 }
 
 func TestFigureByID(t *testing.T) {

@@ -1,5 +1,7 @@
 package flash
 
+import "slices"
+
 // RowDecoder is the programmable row decoder of Section IV-A: a
 // content-addressable memory attached to one physical log block that
 // maps (data block, page index) keys to log-page slots entirely in
@@ -58,13 +60,15 @@ func (d *RowDecoder) Used() int { return d.nextFree }
 // Live reports the number of current (non-superseded) mappings.
 func (d *RowDecoder) Live() int { return len(d.cam) }
 
-// Keys returns the live keys (for the GC merge step). Order is
-// unspecified.
+// Keys returns the live keys (for the GC merge step) in ascending
+// order, so every consumer walks the merge set deterministically —
+// map iteration order must never leak into the simulation.
 func (d *RowDecoder) Keys() []uint64 {
 	out := make([]uint64, 0, len(d.cam))
 	for k := range d.cam {
 		out = append(out, k)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"zng/internal/lint"
+)
+
+// BenchmarkZnglint measures one full suite pass over the loaded
+// module — the analysis cost alone, with the go list/parse/type-check
+// front end hoisted out of the timed region, since that is the part
+// znglint's own code controls.
+func BenchmarkZnglint(b *testing.B) {
+	pkgs, err := lint.Load(".", "zng/...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := lint.Run(pkgs, lint.Suite())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("suite found %d diagnostics in a clean tree", len(diags))
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DeterminismConfig scopes the determinism analyzer.
+type DeterminismConfig struct {
+	// Packages lists the import-path suffixes the analyzer applies to
+	// — the deterministic core whose outputs must be byte-identical
+	// across runs and machines. Packages outside the list (CLIs, the
+	// serving layer, the remote dispatcher) may use wall clocks
+	// freely.
+	Packages []string
+	// RandAllowed lists import-path suffixes that may import
+	// math/rand anyway — the one package whose whole job is wrapping
+	// a generator.
+	RandAllowed []string
+}
+
+// DefaultDeterminism returns the determinism analyzer scoped to this
+// repository's deterministic core: every package on the path from a
+// workload trace to a rendered table or a content address. A cell's
+// result — and therefore its store key, its coalescing identity and
+// the bytes in docs/EXPERIMENTS.md — must be a pure function of the
+// cell's inputs.
+func DefaultDeterminism() *Analyzer {
+	return NewDeterminism(DeterminismConfig{
+		Packages: []string{
+			"internal/sim", "internal/workload", "internal/rng",
+			"internal/flash", "internal/ftl", "internal/ssd",
+			"internal/dram", "internal/gpu", "internal/mem",
+			"internal/mmu", "internal/cache", "internal/prefetch",
+			"internal/regcache", "internal/noc", "internal/config",
+			"internal/platform", "internal/stats", "internal/report",
+			"internal/cellkey", "internal/store", "internal/experiments",
+		},
+		RandAllowed: []string{"internal/rng"},
+	})
+}
+
+// NewDeterminism builds the determinism analyzer: inside the
+// configured packages it flags wall-clock reads (time.Now), math/rand
+// imports (any seeding or draw outside the repo's deterministic rng
+// wrapper, including the argless global rand.* helpers), and
+// map-iteration whose body produces order-sensitive output — appends
+// that are never sorted afterwards, float accumulation (float
+// addition does not associate, so sum order changes result bits), or
+// writes to an encoder/writer/table. The one blessed map-range idiom
+// stays clean: collecting keys into a slice that a later statement of
+// the same block sorts.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc: "flag wall-clock reads, math/rand and order-sensitive map iteration " +
+			"in the deterministic simulation/reporting core",
+	}
+	a.Run = func(pass *Pass) error {
+		if !pathMatches(pass.Pkg.Path(), cfg.Packages) {
+			return nil
+		}
+		randOK := pathMatches(pass.Pkg.Path(), cfg.RandAllowed)
+		for _, file := range pass.Files {
+			for _, imp := range file.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if (path == "math/rand" || path == "math/rand/v2") && !randOK {
+					pass.Reportf(imp.Pos(),
+						"import of %s in deterministic package %s: draw randomness from internal/rng so traces stay seed-deterministic",
+						path, pass.Pkg.Path())
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if calleeIs(pass, n, "time", "Now") {
+						pass.Reportf(n.Pos(),
+							"time.Now in deterministic package %s: simulation output must not depend on the wall clock",
+							pass.Pkg.Path())
+					}
+				case *ast.BlockStmt:
+					checkMapRanges(pass, n.List)
+				case *ast.CommClause:
+					checkMapRanges(pass, n.Body)
+				case *ast.CaseClause:
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkMapRanges scans one statement list for range-over-map loops
+// with order-sensitive bodies. It sees the loop's trailing context,
+// so the collect-then-sort idiom can be recognized as clean.
+func checkMapRanges(pass *Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		rng, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypesInfo.TypeOf(rng.X)) {
+			continue
+		}
+		sens := findOrderSensitive(pass, rng)
+		if len(sens.other) > 0 {
+			pass.Reportf(sens.other[0].Pos(),
+				"order-sensitive operation inside range over map %s: map iteration order is random, so output built here is non-deterministic (sort the keys first)",
+				exprString(rng.X))
+			continue
+		}
+		for obj := range sens.appends {
+			if !sortedLater(pass, stmts[i+1:], obj) {
+				pass.Reportf(rng.Pos(),
+					"range over map %s appends to %s, which is never sorted afterwards: map iteration order is random, so the slice's element order is non-deterministic",
+					exprString(rng.X), obj.Name())
+			}
+		}
+	}
+}
+
+// sensitiveOps classifies the order-sensitive operations of one map
+// range body: appends to outer slices (forgivable if sorted later)
+// and everything else (float accumulation, writer/encoder calls).
+type sensitiveOps struct {
+	appends map[types.Object]bool
+	other   []ast.Node
+}
+
+// emissionPrefixes are callee-name prefixes that commit bytes or rows
+// in call order: stream writers, printers, encoders and the table
+// type's row appender.
+var emissionPrefixes = []string{"Write", "Print", "Fprint", "Encode", "AddRow"}
+
+// findOrderSensitive walks one range body collecting operations whose
+// effect depends on iteration order. Order-insensitive bodies —
+// counting, integer accumulation, min/max scans, building another map
+// — produce nothing.
+func findOrderSensitive(pass *Pass, rng *ast.RangeStmt) sensitiveOps {
+	sens := sensitiveOps{appends: map[types.Object]bool{}}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v = append(v, ...) to a slice declared outside the loop.
+			if call, ok := appendCall(pass, n); ok {
+				if obj := declaredOutside(pass, call, rng); obj != nil {
+					sens.appends[obj] = true
+				} else {
+					// Appending to something we cannot resolve to an
+					// outer variable (a map element, a field): treat as
+					// unforgivable rather than silently passing it.
+					if target := appendTargetOutside(pass, n, rng); target != nil {
+						sens.other = append(sens.other, n)
+					}
+				}
+				return true
+			}
+			// Float accumulation: x op= v where x lives outside the
+			// loop and has floating type. Integer/bool accumulation is
+			// order-independent and stays clean.
+			if n.Tok.IsOperator() && n.Tok.String() != "=" && n.Tok.String() != ":=" {
+				for _, lhs := range n.Lhs {
+					if obj := exprObject(pass, lhs); obj != nil && definedOutside(obj, rng) && isFloat(pass.TypesInfo.TypeOf(lhs)) {
+						sens.other = append(sens.other, n)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(n); name != "" {
+				for _, p := range emissionPrefixes {
+					if strings.HasPrefix(name, p) {
+						sens.other = append(sens.other, n)
+						return true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sens
+}
+
+// appendCall reports whether assign is `x = append(x, ...)` (or :=)
+// and returns the call.
+func appendCall(pass *Pass, assign *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(assign.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+// declaredOutside resolves the append's destination to a variable
+// declared outside the range statement, or nil.
+func declaredOutside(pass *Pass, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	obj := exprObject(pass, call.Args[0])
+	if obj == nil || !definedOutside(obj, rng) {
+		return nil
+	}
+	return obj
+}
+
+// appendTargetOutside reports a non-identifier append destination
+// (field, element) whose base is outside the loop.
+func appendTargetOutside(pass *Pass, assign *ast.AssignStmt, rng *ast.RangeStmt) ast.Expr {
+	for _, lhs := range assign.Lhs {
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			return lhs
+		}
+	}
+	return nil
+}
+
+// sortedLater reports whether any statement after the loop passes obj
+// to a sort function (sort.Strings, sort.Slice, slices.Sort, ...).
+func sortedLater(pass *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); !ok ||
+				(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if exprObject(pass, arg) == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// --- small shared helpers ---
+
+// pathMatches reports whether pkgPath equals or ends with any of the
+// configured suffixes.
+func pathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeIs reports whether call is pkg.Fn for the package with the
+// given import path (matched on the path's last element, resolved
+// through the type checker so local renames still match).
+func calleeIs(pass *Pass, call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == pkgPath
+}
+
+// calleeName extracts the called function or method name, if any.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// exprObject resolves an identifier expression to its object.
+func exprObject(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+// definedOutside reports whether obj's declaration precedes the range
+// statement (i.e. the variable outlives one iteration).
+func definedOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expression"
+}

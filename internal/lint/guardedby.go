@@ -1,0 +1,603 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedByConfig scopes the guardedby analyzer.
+type GuardedByConfig struct {
+	// Packages lists import-path suffixes to check; empty checks
+	// every package (annotations are opt-in per field, so breadth is
+	// cheap).
+	Packages []string
+}
+
+// DefaultGuardedBy returns the guardedby analyzer over the whole
+// module: any struct field whose doc comment declares `guarded by mu`
+// is checked everywhere the annotation's package compiles.
+func DefaultGuardedBy() *Analyzer {
+	return NewGuardedBy(GuardedByConfig{})
+}
+
+// guardPattern extracts the guard name from a field comment:
+// `guarded by mu` names a sibling mutex field, `guarded by
+// Dispatcher.mu` names a mutex field of another struct type in the
+// same package (for satellite structs whose state a parent's lock
+// protects).
+var guardPattern = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)?)`)
+
+// callerHoldsPattern marks a function as running with the lock
+// already held, for the cross-function convention the `...Locked`
+// name suffix also expresses.
+var callerHoldsPattern = regexp.MustCompile(`caller (?:must )?holds? ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardSpec is one annotated field: accesses to (owner, field) require
+// (guardOwner, guardField) to be locked.
+type guardSpec struct {
+	owner      *types.Named // struct declaring the annotated field
+	fieldName  string
+	guardOwner *types.Named // struct declaring the mutex (== owner for sibling guards)
+	guardField string
+	rw         bool // guard is a sync.RWMutex
+}
+
+// NewGuardedBy builds the guardedby analyzer. Struct fields whose doc
+// or line comment says `guarded by <mutex>` are checked against an
+// intraprocedural lock tracker: within every function of the package,
+// the analyzer follows Lock/Unlock/RLock/RUnlock calls (including
+// deferred unlocks) on sync.Mutex/sync.RWMutex values statement by
+// statement, and reports any read or write of an annotated field at a
+// point where its mutex is not held. Methods named `...Locked`, and
+// functions whose doc comment says `caller holds <mutex>`, are
+// assumed to run with that mutex held. Writes under an RLock alone
+// are reported: a read lock licenses concurrent readers, not a
+// mutation under them.
+func NewGuardedBy(cfg GuardedByConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc: "check that struct fields annotated `guarded by mu` are only " +
+			"touched while that mutex is held",
+	}
+	a.Run = func(pass *Pass) error {
+		if len(cfg.Packages) > 0 && !pathMatches(pass.Pkg.Path(), cfg.Packages) {
+			return nil
+		}
+		specs := collectGuardSpecs(pass)
+		if len(specs) == 0 {
+			return nil
+		}
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &lockWalker{pass: pass, specs: specs, fresh: map[types.Object]bool{}}
+				held := map[lockID]lockState{}
+				w.assumeCallerHeld(fd, held)
+				w.stmts(fd.Body.List, held)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuardSpecs parses every struct type declaration for
+// `guarded by` field annotations, resolving cross-type guards like
+// `Dispatcher.mu` within the package.
+func collectGuardSpecs(pass *Pass) []guardSpec {
+	var specs []guardSpec
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name]
+			if !ok {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := fieldGuardName(field)
+				if guard == "" {
+					continue
+				}
+				spec := guardSpec{owner: named, guardOwner: named, guardField: guard}
+				if dot := strings.IndexByte(guard, '.'); dot >= 0 {
+					ownerObj := pass.Pkg.Scope().Lookup(guard[:dot])
+					ownerNamed, ok := ownerObj.(*types.TypeName)
+					if !ok {
+						pass.Reportf(field.Pos(),
+							"guarded-by annotation names unknown type %q", guard[:dot])
+						continue
+					}
+					gn, ok := ownerNamed.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					spec.guardOwner = gn
+					spec.guardField = guard[dot+1:]
+				}
+				mutexField := structField(spec.guardOwner, spec.guardField)
+				if mutexField == nil {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a field of %s",
+						spec.guardField, spec.guardOwner.Obj().Name())
+					continue
+				}
+				rw, ok := mutexKind(mutexField.Type())
+				if !ok {
+					pass.Reportf(field.Pos(),
+						"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex",
+						spec.guardField)
+					continue
+				}
+				spec.rw = rw
+				for _, name := range field.Names {
+					s := spec
+					s.fieldName = name.Name
+					specs = append(specs, s)
+				}
+			}
+			return true
+		})
+	}
+	return specs
+}
+
+// fieldGuardName extracts the guard name from a struct field's doc or
+// trailing line comment.
+func fieldGuardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardPattern.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structField resolves a field by name on a named struct type.
+func structField(named *types.Named, name string) *types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// mutexKind reports whether t is sync.Mutex (rw=false) or
+// sync.RWMutex (rw=true).
+func mutexKind(t types.Type) (rw, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// lockID names one specific mutex value: the guard-owning type plus
+// the source form of the base expression it was locked through, so
+// `s.mu` and `other.mu` are distinct locks of the same type.
+type lockID struct {
+	owner *types.Named
+	field string
+	base  string
+}
+
+// lockState distinguishes a write lock from a read lock.
+type lockState int
+
+const (
+	lockNone lockState = iota
+	lockRead
+	lockWrite
+)
+
+// lockWalker tracks held mutexes through one function body,
+// statement by statement.
+type lockWalker struct {
+	pass  *Pass
+	specs []guardSpec
+	// fresh holds local variables initialized from a composite
+	// literal in this same function — a value under construction that
+	// no other goroutine can see yet, so its fields need no lock (the
+	// constructor exemption).
+	fresh map[types.Object]bool
+}
+
+// assumeCallerHeld seeds the held set for functions the package's
+// conventions declare as running under the lock: methods named
+// `...Locked`, and functions whose doc comment says `caller holds
+// <mutex>`. The receiver's (or the doc-named) mutex is assumed
+// write-held on every base expression of the matching type.
+func (w *lockWalker) assumeCallerHeld(fd *ast.FuncDecl, held map[lockID]lockState) {
+	var guards []string
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		guards = append(guards, "")
+	}
+	if fd.Doc != nil {
+		if m := callerHoldsPattern.FindStringSubmatch(fd.Doc.Text()); m != nil {
+			guards = append(guards, m[1])
+		}
+	}
+	if len(guards) == 0 {
+		return
+	}
+	for _, spec := range w.specs {
+		for _, g := range guards {
+			if g == "" || g == spec.guardField {
+				// The wildcard base "*" satisfies any base expression of
+				// the guard-owning type.
+				held[lockID{owner: spec.guardOwner, field: spec.guardField, base: "*"}] = lockWrite
+			}
+		}
+	}
+}
+
+// stmts walks a statement list in order, threading lock-state
+// mutations (a Lock call affects everything after it in the list).
+func (w *lockWalker) stmts(list []ast.Stmt, held map[lockID]lockState) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+// stmt updates held for one statement and checks the guarded accesses
+// inside it. Branch bodies are analyzed with a copy of the current
+// state; the state after a branching statement is the state before it
+// (a lock acquired inside only one branch is not assumed afterwards,
+// and a branch that unlocks then returns does not poison the fall
+// -through path).
+func (w *lockWalker) stmt(s ast.Stmt, held map[lockID]lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.lockCall(s.X, held, false) {
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return, not here: the lock
+		// stays held for the remainder of the walk. A deferred
+		// function literal runs after return with no lock assumption.
+		if isLockMethod(w.pass, s.Call) != "" {
+			return
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine starts with no locks held.
+		w.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		w.markFresh(s)
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkWrite(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkWrite(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.SendStmt:
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		w.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.checkExpr(e, held)
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, inner)
+				}
+				w.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, copyHeld(held))
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		w.checkExpr(nil, held) // no-op; declarations carry values below
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockCall recognizes mu.Lock()/Unlock()/RLock()/RUnlock() on a
+// tracked mutex and updates held. deferred unlocks are handled by the
+// caller (state unchanged).
+func (w *lockWalker) lockCall(e ast.Expr, held map[lockID]lockState, deferred bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	method := isLockMethod(w.pass, call)
+	if method == "" {
+		return false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	mutex, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	var id lockID
+	if ok {
+		// x.mu.Lock(): resolve the owning struct type of x.
+		ownerType := baseNamed(w.pass.TypesInfo.TypeOf(mutex.X))
+		if ownerType == nil {
+			return true
+		}
+		id = lockID{owner: ownerType, field: mutex.Sel.Name, base: exprString(mutex.X)}
+	} else if ident, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+		// A bare local/global mutex: track by name with no owner.
+		id = lockID{field: ident.Name, base: ident.Name}
+	} else {
+		return true
+	}
+	switch method {
+	case "Lock":
+		held[id] = lockWrite
+	case "RLock":
+		if held[id] < lockRead {
+			held[id] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(held, id)
+	}
+	return true
+}
+
+// isLockMethod reports which mutex method (Lock, Unlock, RLock,
+// RUnlock) a call invokes on a sync.Mutex/RWMutex value, or "".
+func isLockMethod(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := mutexKind(t); !ok {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// checkExpr reports guarded-field reads inside e that lack their
+// mutex, and descends into function literals with an empty held set
+// (they may run on another goroutine).
+func (w *lockWalker) checkExpr(e ast.Expr, held map[lockID]lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			fresh := map[lockID]lockState{}
+			w.stmts(n.Body.List, fresh)
+			return false
+		case *ast.CallExpr:
+			// A nested lock call inside an expression (rare) still
+			// counts.
+			if w.lockCall(n, held, false) {
+				return false
+			}
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held, false)
+		}
+		return true
+	})
+}
+
+// checkWrite checks one assignment destination, requiring a write
+// lock, then checks its subexpressions as reads.
+func (w *lockWalker) checkWrite(e ast.Expr, held map[lockID]lockState) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		w.checkAccess(e, held, true)
+		w.checkExpr(e.X, held)
+	case *ast.IndexExpr:
+		w.checkWrite(e.X, held)
+		w.checkExpr(e.Index, held)
+	case *ast.StarExpr:
+		w.checkExpr(e.X, held)
+	default:
+		w.checkExpr(e, held)
+	}
+}
+
+// markFresh records variables bound to a brand-new composite literal
+// (`s := &Service{...}`), which are exempt from guard checking until
+// the function ends — they have not escaped to another goroutine.
+func (w *lockWalker) markFresh(assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		e := ast.Unparen(rhs)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			e = ast.Unparen(u.X)
+		}
+		if _, ok := e.(*ast.CompositeLit); !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+				w.fresh[obj] = true
+			}
+		}
+	}
+}
+
+// checkAccess reports sel if it reads/writes an annotated field
+// without the required lock state.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[lockID]lockState, write bool) {
+	owner := baseNamed(w.pass.TypesInfo.TypeOf(sel.X))
+	if owner == nil {
+		return
+	}
+	if base := exprObject(w.pass, sel.X); base != nil && w.fresh[base] {
+		return
+	}
+	for _, spec := range w.specs {
+		if spec.owner.Obj() != owner.Obj() || spec.fieldName != sel.Sel.Name {
+			continue
+		}
+		state := w.heldState(spec, sel, held)
+		switch {
+		case state == lockNone:
+			w.pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %s, which is not held here",
+				owner.Obj().Name(), sel.Sel.Name, spec.guardField)
+		case write && state == lockRead:
+			w.pass.Reportf(sel.Pos(),
+				"%s.%s is written holding only the read lock of %s",
+				owner.Obj().Name(), sel.Sel.Name, spec.guardField)
+		}
+		return
+	}
+}
+
+// heldState resolves the lock state protecting one access. Sibling
+// guards require the lock on the same base expression (`s.mu` for
+// `s.queue`); cross-type guards accept the lock through any base of
+// the guard-owning type; the wildcard base covers `...Locked`
+// functions.
+func (w *lockWalker) heldState(spec guardSpec, sel *ast.SelectorExpr, held map[lockID]lockState) lockState {
+	sameOwner := spec.guardOwner.Obj() == spec.owner.Obj()
+	base := exprString(sel.X)
+	best := lockNone
+	for id, state := range held {
+		if id.owner == nil || id.owner.Obj() != spec.guardOwner.Obj() {
+			continue
+		}
+		if id.field != spec.guardField {
+			continue
+		}
+		if sameOwner && id.base != base && id.base != "*" {
+			continue
+		}
+		if state > best {
+			best = state
+		}
+	}
+	return best
+}
+
+// baseNamed strips pointers and returns the named struct type of t.
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// copyHeld clones the lock-state map for a branch body.
+func copyHeld(held map[lockID]lockState) map[lockID]lockState {
+	out := make(map[lockID]lockState, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

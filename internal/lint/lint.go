@@ -1,0 +1,118 @@
+// Package lint machine-enforces the invariants the rest of this
+// repository only states in prose: byte-identical simulation output
+// (determinism), mutex discipline on the concurrent serving layers
+// (guardedby), the driver/registry bijections behind zngfig and the
+// scenario vocabulary (registry), and map/interface-free types behind
+// every content address (canonicalkey). The analyzers are surfaced by
+// cmd/znglint and run in CI, so a regression in any of these
+// properties fails the build instead of surfacing as a byte-diff in
+// docs or a corrupted store key months later.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// an Analyzer with a Run func over a Pass carrying the type-checked
+// package — but is self-contained on the standard library
+// (go/ast, go/types, go/importer): the build environment has no
+// network access to fetch x/tools, and the four analyzers need none
+// of its extras. Packages are loaded by load.go through
+// `go list -export`, so analysis sees exactly what the compiler
+// builds.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass; it returns an error
+// only for analyzer malfunction (a finding is a Diagnostic, not an
+// error).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is the one-paragraph description `znglint -help` prints.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the
+// combined findings sorted by file position then analyzer name, so
+// output is deterministic regardless of package or analyzer order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Suite returns the four repo-invariant analyzers at their default
+// (this-repository) configuration — what cmd/znglint and CI run.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		DefaultDeterminism(),
+		DefaultGuardedBy(),
+		DefaultRegistry(),
+		DefaultCanonicalKey(),
+	}
+}

@@ -1,0 +1,119 @@
+// Package linttest runs one lint.Analyzer over packages under
+// internal/lint/testdata/src and matches its diagnostics against
+// `// want "regexp"` comments in the testdata source — the same
+// contract as golang.org/x/tools' analysistest, rebuilt on the
+// stdlib-only framework because the build environment cannot fetch
+// x/tools. A test fails on any diagnostic no want comment on its line
+// explains, and on any want comment no diagnostic fulfills, so the
+// testdata pins both the flagged and the clean cases.
+package linttest
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+
+	"zng/internal/lint"
+)
+
+// prefix locates the testdata packages as an import path: `go list`
+// resolves it from any working directory inside the module, so tests
+// need not find the module root. The go tool never matches testdata
+// directories with ./... wildcards, which is exactly why the fixture
+// packages — full of intentional violations — live there: the real
+// suite run over the module cannot see them.
+const prefix = "zng/internal/lint/testdata/src/"
+
+// wantPattern finds a want comment's quoted regexp list.
+var wantPattern = regexp.MustCompile(`want ((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+// quoted splits the list into individual Go-quoted strings.
+var quoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one want regexp awaiting a diagnostic on its line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the named testdata packages (directory names under
+// internal/lint/testdata/src), applies the analyzer, and checks the
+// diagnostics against the want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = prefix + p
+	}
+	loaded, err := lint.Load(".", patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(loaded, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, loaded)
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	var keys []string
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment in the loaded packages,
+// keyed by "file:line".
+func collectWants(t *testing.T, pkgs []*lint.Package) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantPattern.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+					for _, q := range quoted.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

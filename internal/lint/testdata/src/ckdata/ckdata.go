@@ -1,0 +1,60 @@
+// Package ckdata exercises the canonicalkey analyzer: types passed
+// to the sink with canonical shapes stay silent, while interface,
+// func, chan and unsortable-map fields are flagged at the call site.
+package ckdata
+
+import "zng/internal/lint/testdata/src/cksink"
+
+// Good is fully canonical: scalars, slices, and a string-keyed map,
+// which encoding/json marshals in sorted key order. The unexported
+// channel is invisible to JSON and must not be flagged.
+type Good struct {
+	Name  string
+	Score float64
+	Tags  []string
+	Extra map[string]float64
+	inner chan int
+}
+
+// BadIface carries a field whose dynamic type the schema cannot pin.
+type BadIface struct {
+	Payload any
+}
+
+// BadMap's key type does not marshal in sorted order.
+type BadMap struct {
+	Weights map[float64]string
+}
+
+// BadChan is not encodable at all.
+type BadChan struct {
+	C chan int
+}
+
+// BadFunc is not encodable at all.
+type BadFunc struct {
+	F func() int
+}
+
+// Nested hides the offending field one level down.
+type Nested struct {
+	G Good
+	B BadIface
+}
+
+// Keys drives every case through the sink.
+func Keys() []string {
+	return []string{
+		cksink.Key(Good{}),
+		cksink.Key(BadIface{}), // want "field Payload: an interface"
+		cksink.Key(BadMap{}),   // want "does not marshal in sorted order"
+		cksink.Key(BadChan{}),  // want "a channel cannot be encoded"
+		cksink.Key(BadFunc{}),  // want "a func cannot be encoded"
+		cksink.Key(Nested{}),   // want "field B.Payload"
+	}
+}
+
+// use keeps the unexported field referenced.
+func use(g Good) chan int { return g.inner }
+
+var _ = use

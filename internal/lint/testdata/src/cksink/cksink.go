@@ -1,0 +1,15 @@
+// Package cksink is the testdata stand-in for a content-address
+// sink like internal/cellkey.Key: whatever reaches Key becomes
+// canonical bytes.
+package cksink
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Key hashes v's canonical JSON encoding.
+func Key(v any) string {
+	b, _ := json.Marshal(v)
+	return fmt.Sprintf("%x", b)
+}

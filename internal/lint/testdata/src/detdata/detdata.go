@@ -1,0 +1,87 @@
+// Package detdata exercises the determinism analyzer: the flagged
+// cases (wall clock, math/rand, order-sensitive map iteration) and
+// the clean idioms that must stay silent (collect-then-sort, integer
+// accumulation, min/max scans, map inversion).
+package detdata
+
+import (
+	"fmt"
+	"io"
+	"math/rand" // want "import of math/rand in deterministic package"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock inside the deterministic core.
+func Clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in deterministic package"
+}
+
+// Draw uses the forbidden import so it compiles; only the import line
+// is flagged.
+func Draw() int { return rand.Int() }
+
+// BadKeys leaks map iteration order into the returned slice.
+func BadKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodKeys is the blessed collect-then-sort idiom.
+func GoodKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BadSum accumulates floats in map order: float addition does not
+// associate, so the sum's bits depend on iteration order.
+func BadSum(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want "order-sensitive operation inside range over map"
+	}
+	return t
+}
+
+// GoodCount accumulates integers, which is order-independent.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// GoodMax is an order-independent scan.
+func GoodMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// BadEmit writes rows in map iteration order.
+func BadEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "order-sensitive operation inside range over map"
+	}
+}
+
+// GoodInvert builds another map; insertion order is invisible.
+func GoodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

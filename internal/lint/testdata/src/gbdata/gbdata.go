@@ -1,0 +1,135 @@
+// Package gbdata exercises the guardedby analyzer: annotated fields
+// touched with and without their mutex, deferred unlocks, goroutine
+// bodies, read locks, the Locked-suffix and caller-holds conventions,
+// the constructor-freshness exemption, cross-type guards, and
+// malformed annotations.
+package gbdata
+
+import "sync"
+
+// Counter is the basic sibling-guard case.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Good locks around the access.
+func (c *Counter) Good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// GoodDefer holds the lock through the deferred unlock.
+func (c *Counter) GoodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad touches the field with no lock at all.
+func (c *Counter) Bad() {
+	c.n++ // want "guarded by mu, which is not held here"
+}
+
+// BadGo acquires the lock but mutates from a new goroutine, which
+// starts with nothing held.
+func (c *Counter) BadGo() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "guarded by mu, which is not held here"
+	}()
+}
+
+// BadAfterUnlock releases before the access.
+func (c *Counter) BadAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "guarded by mu, which is not held here"
+}
+
+// bumpLocked runs under the caller's lock by naming convention.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// reset zeroes the counter; caller holds mu.
+func (c *Counter) reset() { c.n = 0 }
+
+// NewCounter builds a value no other goroutine can see yet: the
+// constructor-freshness exemption keeps it clean.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Gauge exercises the read/write distinction of an RWMutex guard.
+type Gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+// ReadOK reads under the read lock.
+func (g *Gauge) ReadOK() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// WriteOK writes under the write lock.
+func (g *Gauge) WriteOK(x float64) {
+	g.mu.Lock()
+	g.v = x
+	g.mu.Unlock()
+}
+
+// BadWrite mutates under a read lock, which licenses concurrent
+// readers.
+func (g *Gauge) BadWrite(x float64) {
+	g.mu.RLock()
+	g.v = x // want "written holding only the read lock"
+	g.mu.RUnlock()
+}
+
+// pool and item exercise the cross-type guard: item's scheduling
+// state belongs to pool's lock domain.
+type pool struct {
+	mu    sync.Mutex
+	items []*item
+}
+
+type item struct {
+	hits int // guarded by pool.mu
+}
+
+// TouchOK holds the pool lock around the item access.
+func (p *pool) TouchOK(it *item) {
+	p.mu.Lock()
+	it.hits++
+	p.mu.Unlock()
+}
+
+// TouchBad touches the item with no pool lock.
+func (p *pool) TouchBad(it *item) {
+	it.hits++ // want "guarded by mu, which is not held here"
+}
+
+// badAnnot's annotations are malformed and must be reported where
+// they are written.
+type badAnnot struct {
+	g int
+	x int // guarded by missing — want "not a field of badAnnot"
+	y int // guarded by g — want "not a sync.Mutex or sync.RWMutex"
+	z int // guarded by Nowhere.mu — want "unknown type"
+}
+
+// use keeps the unexported types and fields referenced.
+func use(p *pool, b *badAnnot) int {
+	c := NewCounter()
+	c.bumpLocked()
+	c.reset()
+	_ = p.items
+	return b.g + len(p.items)
+}
+
+var _ = use

@@ -1,0 +1,39 @@
+// Package regfigs exercises the figure half of the registry
+// analyzer: the driver/registry bijection, duplicate ids, and
+// non-constant Driver fields.
+package regfigs
+
+import "zng/internal/lint/testdata/src/regstats"
+
+// Figure is one registry entry.
+type Figure struct {
+	ID     string
+	Driver string
+}
+
+// dynDriver makes one entry's Driver field non-constant.
+var dynDriver = "Fig12"
+
+// Fig10 is registered exactly once — the clean case.
+func Fig10() *regstats.Table { return &regstats.Table{} }
+
+// Fig11 is registered twice.
+func Fig11() *regstats.Table { return &regstats.Table{} }
+
+// Orphan never enters the registry.
+func Orphan() *regstats.Table { return &regstats.Table{} } // want "has no Registry"
+
+// helperTable is unexported, so it is not a driver.
+func helperTable() *regstats.Table { return &regstats.Table{} }
+
+// Registry declares the entries the analyzer cross-checks.
+func Registry() []Figure {
+	_ = helperTable()
+	return []Figure{
+		{ID: "fig10", Driver: "Fig10"},
+		{ID: "fig11", Driver: "Fig11"},
+		{ID: "fig10", Driver: "Ghost"},   // want "names driver Ghost" "registered 2 times"
+		{ID: "fig11b", Driver: "Fig11"},  // want "registered 2 times"
+		{ID: "fig12", Driver: dynDriver}, // want "not a constant string"
+	}
+}

@@ -1,0 +1,31 @@
+// Package regmix exercises the scenario half of the registry
+// analyzer: every exported Mix-returning constructor must be in the
+// static call graph rooted at Scenarios, unless exempted.
+package regmix
+
+// Mix is one scenario value.
+type Mix struct {
+	Name string
+}
+
+// Scenarios is the registry root.
+func Scenarios() []Mix {
+	out := []Mix{PairMix()}
+	out = append(out, tripleMixes()...)
+	return out
+}
+
+// PairMix is reachable directly from the root.
+func PairMix() Mix { return Mix{Name: "pair"} }
+
+// tripleMixes is the unexported hop to TripleMix.
+func tripleMixes() []Mix { return []Mix{TripleMix()} }
+
+// TripleMix is reachable through the helper.
+func TripleMix() Mix { return Mix{Name: "triple"} }
+
+// StrayMix is never wired into Scenarios.
+func StrayMix() Mix { return Mix{Name: "stray"} } // want "not reachable from Scenarios"
+
+// MixByName is a lookup, exempted in the test configuration.
+func MixByName(n string) Mix { return Mix{Name: n} }

@@ -1,0 +1,9 @@
+// Package regstats is the testdata stand-in for internal/stats: a
+// Table type whose pointer return marks a function as a figure
+// driver.
+package regstats
+
+// Table is one rendered result table.
+type Table struct {
+	Rows int
+}

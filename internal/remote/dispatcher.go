@@ -24,22 +24,27 @@ import (
 type Dispatcher struct {
 	cooldown time.Duration
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// peers is fixed at construction (the slice itself is never
+	// resized or reassigned); the mutable scheduling state lives in
+	// the peer structs, whose fields mu protects.
 	peers []*peer
 	// rr rotates the scan origin so equal-inflight ties round-robin
 	// across the fleet instead of always landing on the first peer —
 	// without it, fully serialized execution (every cell finishing
 	// before the next dispatch) would starve every peer but peers[0].
+	// guarded by mu.
 	rr int
 }
 
-// peer is one worker plus its scheduling state.
+// peer is one worker plus its scheduling state. The scheduling
+// fields belong to the dispatcher's lock domain, not the peer's own.
 type peer struct {
 	client   *Client
-	inflight int
-	cells    uint64
-	failures uint64
-	downTil  time.Time
+	inflight int       // guarded by Dispatcher.mu
+	cells    uint64    // guarded by Dispatcher.mu
+	failures uint64    // guarded by Dispatcher.mu
+	downTil  time.Time // guarded by Dispatcher.mu
 }
 
 // PeerStats is one peer's scheduling counters — the per-worker view

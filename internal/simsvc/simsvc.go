@@ -153,20 +153,20 @@ type Service struct {
 	maxJobs int
 
 	mu     sync.Mutex
-	cond   *sync.Cond // queue became non-empty, or the service closed
-	queue  jobQueue
-	cells  map[string]*job // cell key -> owning job (completed cells stay: the memory layer)
-	jobs   map[string]*job // job id -> job
-	order  []*job          // submission order, for listing
-	nextID uint64
-	stats  experiments.RunnerStats
+	cond   *sync.Cond              // queue became non-empty, or the service closed
+	queue  jobQueue                // guarded by mu
+	cells  map[string]*job         // guarded by mu; cell key -> owning job (completed cells stay: the memory layer)
+	jobs   map[string]*job         // guarded by mu; job id -> job
+	order  []*job                  // guarded by mu; submission order, for listing
+	nextID uint64                  // guarded by mu
+	stats  experiments.RunnerStats // guarded by mu
 	// evictable counts retained jobs eligible for eviction, so a
 	// memory-only service (where done jobs are never evictable) skips
 	// the retention scan entirely instead of walking an ever-growing
-	// order slice on every completion.
+	// order slice on every completion. guarded by mu.
 	evictable int
-	evicted   uint64
-	closed    bool
+	evicted   uint64 // guarded by mu
+	closed    bool   // guarded by mu
 	wg        sync.WaitGroup
 }
 

@@ -53,11 +53,14 @@ func (b *Breakdown) Add(name string, v float64) {
 // Get reports the accumulated value for name.
 func (b *Breakdown) Get(name string) float64 { return b.vals[name] }
 
-// Total reports the sum over all components.
+// Total reports the sum over all components, accumulated in first-use
+// order: float addition does not associate, so summing in map
+// iteration order would let the random order perturb the result's low
+// bits from run to run.
 func (b *Breakdown) Total() float64 {
 	t := 0.0
-	for _, v := range b.vals {
-		t += v
+	for _, n := range b.order {
+		t += b.vals[n]
 	}
 	return t
 }
