@@ -21,13 +21,21 @@
 //	GET  /v1/scenarios       workload scenario registry
 //	GET  /v1/platforms       platform vocabulary
 //	GET  /healthz            liveness
-//	GET  /metrics            counters (sims, memory/disk hits, coalesced, jobs, evictions, store entries)
+//	GET  /metrics            counters (sims, memory/disk hits, coalesced, jobs, evictions, rejections, tier gauges, latency quantiles)
+//
+// Serving is tiered: -mem-cache sizes an in-memory LRU of decoded
+// result documents fronting the store, so the hot working set skips
+// the disk read+decode entirely (0 disables it). Admission is
+// bounded: past -max-queue pending simulations, new work is refused
+// with 429 Too Many Requests and a Retry-After estimate, so overload
+// sheds instead of queueing without limit.
 //
 // Job history is bounded: past -max-jobs completed jobs, the oldest
 // persisted (or failed) jobs are evicted from memory and their cells
-// re-serve from the store. On SIGINT/SIGTERM the daemon stops
-// accepting connections, lets in-flight requests (and their
-// simulations) drain, then closes the service.
+// re-serve from the store (through the memory tier). On
+// SIGINT/SIGTERM the daemon stops accepting connections, lets
+// in-flight requests (and their simulations) drain, then closes the
+// service.
 package main
 
 import (
@@ -53,6 +61,8 @@ func main() {
 		cacheDir = flag.String("cache", "", "persistent result store directory (empty: memory-only)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = NumCPU)")
 		maxJobs  = flag.Int("max-jobs", 4096, "retained completed jobs before eviction (0 = unbounded)")
+		memCache = flag.Int("mem-cache", 4096, "in-memory result-tier entries fronting the store (0 = no memory tier)")
+		maxQueue = flag.Int("max-queue", 1024, "pending simulations before admission returns 429 (0 = unbounded)")
 		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once bound")
 		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain budget for in-flight simulations")
 	)
@@ -65,7 +75,13 @@ func main() {
 			fatal(err)
 		}
 	}
-	svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers, MaxJobs: *maxJobs})
+	svc := simsvc.New(simsvc.Config{
+		Store:        st,
+		Workers:      *workers,
+		MaxJobs:      *maxJobs,
+		CacheEntries: *memCache,
+		MaxQueue:     *maxQueue,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/simsvc"
+	"zng/internal/workload"
+)
+
+// fastSim is an instant stub so the harness tests measure the load
+// loop, not the simulator.
+func fastSim(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1.5}, nil
+}
+
+// testDaemon serves the real zngd HTTP API over a stubbed service.
+func testDaemon(t *testing.T, svcCfg simsvc.Config) (addr string) {
+	t.Helper()
+	if svcCfg.Simulate == nil {
+		svcCfg.Simulate = fastSim
+	}
+	if svcCfg.Workers == 0 {
+		svcCfg.Workers = 2
+	}
+	svc := simsvc.New(svcCfg)
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(simsvc.NewHandler(svc, config.Default()))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestRunDrivesDaemon: a short run against a live handler completes
+// with zero errors, every success attributed to a tier, and a
+// populated latency summary.
+func TestRunDrivesDaemon(t *testing.T) {
+	addr := testDaemon(t, simsvc.Config{CacheEntries: 64})
+	doc, err := run(loadConfig{
+		Addr:        addr,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Platform:    "GDDR5",
+		Scenarios:   []string{"solo-bfs1", "solo-gaus"},
+		Scales:      []float64{0.05},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Requests == 0 || doc.OK == 0 {
+		t.Fatalf("no load driven: %+v", doc)
+	}
+	if doc.Errors != 0 {
+		t.Fatalf("errors against a healthy daemon: %+v", doc)
+	}
+	if !doc.Pass {
+		t.Errorf("no floors set but Pass = false: %+v", doc)
+	}
+	if got := doc.Tiers["memory"] + doc.Tiers["disk"] + doc.Tiers["sim"]; got != doc.OK {
+		t.Errorf("tier counts sum to %d, want every OK (%d) attributed", got, doc.OK)
+	}
+	if doc.Latency.Count == 0 || doc.Latency.P99MS <= 0 {
+		t.Errorf("latency summary empty: %+v", doc.Latency)
+	}
+	if doc.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", doc.ThroughputRPS)
+	}
+}
+
+// TestRunFloors: an unreachable throughput floor fails the gate, and
+// a generous one passes — the CI contract.
+func TestRunFloors(t *testing.T) {
+	addr := testDaemon(t, simsvc.Config{CacheEntries: 64})
+	base := loadConfig{
+		Addr:        addr,
+		Concurrency: 2,
+		Duration:    200 * time.Millisecond,
+		Platform:    "GDDR5",
+		Scenarios:   []string{"solo-bfs1"},
+		Scales:      []float64{0.05},
+		Timeout:     10 * time.Second,
+	}
+
+	impossible := base
+	impossible.MinRPS = 1e12
+	doc, err := run(impossible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pass {
+		t.Errorf("Pass = true at min-rps 1e12 (rps %v)", doc.ThroughputRPS)
+	}
+
+	generous := base
+	generous.MinRPS = 0.001
+	generous.MaxP99 = time.Hour
+	doc, err = run(generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Pass {
+		t.Errorf("Pass = false under trivial floors: %+v", doc)
+	}
+}
+
+// TestRunRejectionsAreNotErrors: a daemon shedding load with 429s
+// yields rejected > 0, errors == 0, and a passing gate — admission
+// control working is not a harness failure.
+func TestRunRejectionsAreNotErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	doc, err := run(loadConfig{
+		Addr:        strings.TrimPrefix(ts.URL, "http://"),
+		Concurrency: 2,
+		Duration:    150 * time.Millisecond,
+		Platform:    "GDDR5",
+		Scenarios:   []string{"solo-bfs1"},
+		Scales:      []float64{0.05},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rejected == 0 {
+		t.Fatalf("no rejections recorded: %+v", doc)
+	}
+	if doc.Errors != 0 || !doc.Pass {
+		t.Errorf("429s counted as errors: %+v", doc)
+	}
+}
+
+// TestRunServerErrorsFailTheGate: a 500-ing daemon must fail even
+// with no floors configured.
+func TestRunServerErrorsFailTheGate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	doc, err := run(loadConfig{
+		Addr:        strings.TrimPrefix(ts.URL, "http://"),
+		Concurrency: 1,
+		Duration:    100 * time.Millisecond,
+		Platform:    "GDDR5",
+		Scenarios:   []string{"solo-bfs1"},
+		Scales:      []float64{0.05},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Errors == 0 || doc.Pass {
+		t.Errorf("server errors did not fail the gate: %+v", doc)
+	}
+}
+
+// TestRunRejectsDegenerateConfigs pins the argument validation.
+func TestRunRejectsDegenerateConfigs(t *testing.T) {
+	if _, err := run(loadConfig{Concurrency: 0, Scenarios: []string{"s"}, Scales: []float64{1}}); err == nil {
+		t.Error("concurrency 0 accepted")
+	}
+	if _, err := run(loadConfig{Concurrency: 1}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileKnownDistributions pins the estimator against
+// distributions whose quantiles are known, within the histogram's
+// bucket resolution (one power-of-two bucket).
+func TestQuantileKnownDistributions(t *testing.T) {
+	for name, tc := range map[string]struct {
+		observe func(h *Histogram)
+		q       float64
+		want    time.Duration
+		exact   bool // interpolation reproduces the value exactly
+	}{
+		"single value repeated": {
+			// 1000 observations of 3µs fill bucket [2µs,4µs); the
+			// median interpolates to exactly its midpoint.
+			observe: func(h *Histogram) {
+				for i := 0; i < 1000; i++ {
+					h.Observe(3 * time.Microsecond)
+				}
+			},
+			q: 0.50, want: 3 * time.Microsecond, exact: true,
+		},
+		"uniform ladder p50": {
+			// 1..1000 ms uniformly: true median 500 ms.
+			observe: func(h *Histogram) {
+				for i := 1; i <= 1000; i++ {
+					h.Observe(time.Duration(i) * time.Millisecond)
+				}
+			},
+			q: 0.50, want: 500 * time.Millisecond,
+		},
+		"uniform ladder p99": {
+			observe: func(h *Histogram) {
+				for i := 1; i <= 1000; i++ {
+					h.Observe(time.Duration(i) * time.Millisecond)
+				}
+			},
+			q: 0.99, want: 990 * time.Millisecond,
+		},
+		"bimodal p95": {
+			// 90% fast (~100µs), 10% slow (~50ms): p95 lands in the
+			// slow mode.
+			observe: func(h *Histogram) {
+				for i := 0; i < 900; i++ {
+					h.Observe(100 * time.Microsecond)
+				}
+				for i := 0; i < 100; i++ {
+					h.Observe(50 * time.Millisecond)
+				}
+			},
+			q: 0.95, want: 50 * time.Millisecond,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			tc.observe(&h)
+			got := h.Quantile(tc.q)
+			if tc.exact {
+				if got != tc.want {
+					t.Fatalf("Quantile(%v) = %v, want exactly %v", tc.q, got, tc.want)
+				}
+				return
+			}
+			// Power-of-two buckets bound the estimate to within one
+			// bucket of the truth: [want/2, 2*want].
+			if got < tc.want/2 || got > 2*tc.want {
+				t.Fatalf("Quantile(%v) = %v, want within a bucket of %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBucketBoundaries walks the bucket edges: exact powers of two
+// land in the bucket they open, and the extremes clamp instead of
+// panicking or vanishing.
+func TestBucketBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // negative counts as zero
+		{0, 0},
+		{time.Nanosecond, 0},
+		{bucketFloor - 1, 0},
+		{bucketFloor, 0}, // [1µs,2µs)
+		{2*bucketFloor - 1, 0},
+		{2 * bucketFloor, 1}, // boundary opens the next bucket
+		{4 * bucketFloor, 2},
+		{time.Second, 19},                // 2^19µs ≈ 0.52s ≤ 1s < 2^20µs ≈ 1.05s
+		{24 * time.Hour, numBuckets - 1}, // saturates the open-ended top bucket
+	} {
+		var h Histogram
+		h.Observe(tc.d)
+		got := -1
+		for i := range h.counts {
+			if h.counts[i].Load() == 1 {
+				got = i
+			}
+		}
+		if got != tc.want {
+			t.Errorf("Observe(%v) landed in bucket %d, want %d", tc.d, got, tc.want)
+		}
+		if tc.d >= 0 {
+			d := tc.d
+			if lo := bucketLow(got); d >= bucketFloor && d < lo {
+				t.Errorf("Observe(%v): bucket %d lower bound %v exceeds the observation", tc.d, got, lo)
+			}
+			if hi := bucketHigh(got); got < numBuckets-1 && d >= hi {
+				t.Errorf("Observe(%v): bucket %d upper bound %v at or below the observation", tc.d, got, hi)
+			}
+		}
+	}
+
+	// A saturated observation still quantiles to a finite duration.
+	var h Histogram
+	h.Observe(24 * time.Hour)
+	if q := h.Quantile(1); q <= 0 || q > bucketHigh(numBuckets-1) {
+		t.Errorf("saturated Quantile(1) = %v", q)
+	}
+}
+
+// TestQuantileEdges covers the degenerate inputs: empty histogram,
+// out-of-range q, q=1, single observation.
+func TestQuantileEdges(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %v, want 0", q)
+	}
+	h.Observe(5 * time.Millisecond)
+	for _, q := range []float64{-1, 0, 1.01} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) = %v, want 0 for out-of-range q", q, got)
+		}
+	}
+	// With one observation every valid quantile names it.
+	lo, hi := bucketLow(bucketIndex(5*time.Millisecond)), bucketHigh(bucketIndex(5*time.Millisecond))
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within the single observation's bucket [%v,%v]", q, got, lo, hi)
+		}
+	}
+}
+
+// TestMergeAndReset: merge adds bucket-wise, reset zeroes, and the
+// merged totals are conserved.
+func TestMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(&b)
+	if n := a.Count(); n != 200 {
+		t.Fatalf("merged count = %d, want 200", n)
+	}
+	if p99 := a.Quantile(0.99); p99 < 500*time.Millisecond {
+		t.Errorf("merged p99 = %v, want the slow source to dominate", p99)
+	}
+	if n := b.Count(); n != 100 {
+		t.Errorf("merge mutated its source: count = %d", n)
+	}
+	a.Reset()
+	if n, m := a.Count(), a.Mean(); n != 0 || m != 0 {
+		t.Errorf("after reset count=%d mean=%v, want zeroes", n, m)
+	}
+	if q := a.Quantile(0.5); q != 0 {
+		t.Errorf("after reset Quantile = %v, want 0", q)
+	}
+}
+
+// TestConcurrentRecording churns Observe, Quantile, Merge and Reset
+// together; under -race this pins the atomics discipline, and the
+// final drained state must be consistent (no lost or negative
+// buckets).
+func TestConcurrentRecording(t *testing.T) {
+	var h, side Histogram
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(1+(g*each+i)%5000) * time.Microsecond)
+				if i%100 == 0 {
+					_ = h.Quantile(0.95)
+					_ = h.Snapshot()
+				}
+				if i%500 == 0 {
+					side.Merge(&h)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != goroutines*each {
+		t.Fatalf("count = %d, want %d (observations lost)", n, goroutines*each)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 8*time.Millisecond {
+		t.Errorf("p50 = %v, want within the observed 1µs..5ms range (one bucket slack)", q)
+	}
+	h.Reset()
+	if n := h.Count(); n != 0 {
+		t.Fatalf("post-reset count = %d", n)
+	}
+	// Reset under fire: recorders and resetters interleave freely; the
+	// histogram must end empty after a final reset with no recorders.
+	var wg2 sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg2.Add(2)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Millisecond)
+			}
+		}()
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 100; i++ {
+				h.Reset()
+			}
+		}()
+	}
+	wg2.Wait()
+	h.Reset()
+	if n := h.Count(); n != 0 {
+		t.Fatalf("final reset left count = %d", n)
+	}
+}
+
+// TestSnapshot pins the JSON-facing summary fields.
+func TestSnapshot(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("snapshot count = %d", s.Count)
+	}
+	if s.P50MS < 5 || s.P50MS > 20 {
+		t.Errorf("snapshot p50 = %vms, want ~10ms within a bucket", s.P50MS)
+	}
+	if s.MeanMS < 9.9 || s.MeanMS > 10.1 {
+		t.Errorf("snapshot mean = %vms, want 10ms", s.MeanMS)
+	}
+	if s.String() == "" {
+		t.Error("empty snapshot string")
+	}
+}

@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/experiments"
+	"zng/internal/latency"
 	"zng/internal/platform"
 	"zng/internal/report"
 	"zng/internal/workload"
@@ -72,11 +76,33 @@ type scenarioInfo struct {
 // method — is a JSON document; errors are {"error": ...} with the
 // matching status code, so clients never have to parse a text/plain
 // fallback.
+//
+// When the service's admission bound rejects a run (ErrOverloaded),
+// the reply is 429 Too Many Requests with a Retry-After header (whole
+// seconds) estimated from recent per-simulation latency and the
+// current queue depth — a well-behaved client backs off that long and
+// retries. Every endpoint's wall-clock latency feeds a fixed-bucket
+// histogram surfaced as p50/p95/p99 under "latency" in /metrics.
 func NewHandler(svc *Service, cfg config.Config) http.Handler {
 	mux := http.NewServeMux()
 	mgr := campaign.NewManager(svc, cfg, 0)
 
-	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+	// Per-endpoint latency histograms. The map is fully populated
+	// before NewHandler returns and read-only afterwards, so the
+	// metrics handler may range it without a lock (the histograms
+	// themselves are internally atomic).
+	hists := map[string]*latency.Histogram{}
+	timed := func(pattern string, h http.HandlerFunc) {
+		hist := &latency.Histogram{}
+		hists[pattern] = hist
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.Observe(time.Since(start))
+		})
+	}
+
+	timed("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
 		var req runRequest
 		// Pre-seed the config target with the base configuration: a
 		// request's "config" object decodes over it, so unspecified
@@ -126,8 +152,13 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		request := Request{Kind: kind, Mix: mix, Scale: scale, Cfg: *req.Config, Priority: req.Priority}
 		if req.Async {
 			job, err := svc.SubmitJob(request)
+			if errors.Is(err, ErrOverloaded) {
+				writeOverloaded(w, svc, err)
+				return
+			}
 			if err != nil {
-				// Only shutdown rejects a well-formed submission.
+				// Beyond overload, only shutdown rejects a well-formed
+				// submission.
 				writeErr(w, http.StatusServiceUnavailable, err)
 				return
 			}
@@ -137,6 +168,10 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		// DoJob holds the job across the wait, so a retention eviction
 		// between completion and reply cannot lose the result.
 		res, job, err := svc.DoJob(request)
+		if errors.Is(err, ErrOverloaded) {
+			writeOverloaded(w, svc, err)
+			return
+		}
 		if errors.Is(err, ErrClosed) && job.ID == "" {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
@@ -155,13 +190,13 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeJSON(w, http.StatusOK, runResponse{Job: job, Result: report.EncodeResult(res)})
 	})
 
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Jobs []JobInfo `json:"jobs"`
 		}{svc.Jobs()})
 	})
 
-	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		// A completed job carries its result, so an async submitter can
 		// poll this endpoint to done and collect the document in one
@@ -186,7 +221,7 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+	timed("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var spec campaign.Spec
 		dec := json.NewDecoder(r.Body)
 		dec.DisallowUnknownFields()
@@ -204,7 +239,7 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		}{campaignStatus(c)})
 	})
 
-	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		list := mgr.List()
 		out := make([]campaignInfo, len(list))
 		for i, c := range list {
@@ -215,7 +250,7 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		}{out})
 	})
 
-	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		c, ok := mgr.Get(id)
 		if !ok {
@@ -243,7 +278,7 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeJSON(w, http.StatusOK, detail)
 	})
 
-	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		scenarios := workload.Scenarios()
 		out := make([]scenarioInfo, len(scenarios))
 		for i, m := range scenarios {
@@ -254,20 +289,20 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		}{out})
 	})
 
-	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Platforms []string `json:"platforms"`
 		}{platform.KindNames()})
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	timed("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
 		}{"ok"})
 	})
 
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, metrics(svc))
+	timed("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metrics(svc, hists))
 	})
 
 	// Unmatched paths fall through to "/": a structured 404 instead of
@@ -334,30 +369,54 @@ func campaignStatus(c *campaign.Campaign) campaignInfo {
 	return campaignInfo{ID: c.ID, Name: c.Spec.Name, State: state, Progress: c.Progress()}
 }
 
-// metricsDoc is the /metrics document: the runner counters plus job
-// and store gauges, flat like an expvar page so scrapers stay simple.
+// metricsDoc is the /metrics document: the runner counters plus job,
+// store and result-tier gauges, flat like an expvar page so scrapers
+// stay simple — except "latency", a map of p50/p95/p99 summaries per
+// endpoint (plus "sim", the per-simulation latency feeding the
+// Retry-After estimator).
 type metricsDoc struct {
-	Sims         uint64 `json:"sims"`
-	MemoryHits   uint64 `json:"memory_hits"`
-	DiskHits     uint64 `json:"disk_hits"`
-	Coalesced    uint64 `json:"coalesced"`
-	JobsTotal    int    `json:"jobs_total"`
-	JobsQueued   int    `json:"jobs_queued"`
-	JobsRunning  int    `json:"jobs_running"`
-	JobsDone     int    `json:"jobs_done"`
-	JobsError    int    `json:"jobs_error"`
-	JobsEvicted  uint64 `json:"jobs_evicted"`
-	StoreEntries int    `json:"store_entries"`
+	Sims          uint64 `json:"sims"`
+	MemoryHits    uint64 `json:"memory_hits"`
+	DiskHits      uint64 `json:"disk_hits"`
+	Coalesced     uint64 `json:"coalesced"`
+	JobsTotal     int    `json:"jobs_total"`
+	JobsQueued    int    `json:"jobs_queued"`
+	JobsRunning   int    `json:"jobs_running"`
+	JobsDone      int    `json:"jobs_done"`
+	JobsError     int    `json:"jobs_error"`
+	JobsEvicted   uint64 `json:"jobs_evicted"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	StoreEntries  int    `json:"store_entries"`
+	TierEntries   int    `json:"tier_entries"`
+	TierCapacity  int    `json:"tier_capacity"`
+	TierHits      uint64 `json:"tier_hits"`
+	TierMisses    uint64 `json:"tier_misses"`
+	TierEvictions uint64 `json:"tier_evictions"`
+
+	Latency map[string]latency.Snapshot `json:"latency,omitempty"`
 }
 
-func metrics(svc *Service) metricsDoc {
+func metrics(svc *Service, hists map[string]*latency.Histogram) metricsDoc {
 	st := svc.Stats()
+	tier := svc.TierStats()
 	doc := metricsDoc{
-		Sims:        st.Sims,
-		MemoryHits:  st.MemoryHits,
-		DiskHits:    st.DiskHits,
-		Coalesced:   st.Coalesced,
-		JobsEvicted: svc.EvictedJobs(),
+		Sims:          st.Sims,
+		MemoryHits:    st.MemoryHits,
+		DiskHits:      st.DiskHits,
+		Coalesced:     st.Coalesced,
+		JobsEvicted:   svc.EvictedJobs(),
+		JobsRejected:  svc.Rejected(),
+		TierEntries:   tier.Entries,
+		TierCapacity:  tier.Capacity,
+		TierHits:      tier.Hits,
+		TierMisses:    tier.Misses,
+		TierEvictions: tier.Evictions,
+		Latency:       map[string]latency.Snapshot{"sim": svc.SimLatency()},
+	}
+	for pattern, h := range hists {
+		if s := h.Snapshot(); s.Count > 0 {
+			doc.Latency[pattern] = s
+		}
 	}
 	for _, j := range svc.Jobs() {
 		doc.JobsTotal++
@@ -394,4 +453,16 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{err.Error()})
+}
+
+// writeOverloaded maps ErrOverloaded to 429 Too Many Requests with a
+// Retry-After header (whole seconds, minimum 1 — the header's
+// granularity) from the service's backlog-drain estimate.
+func writeOverloaded(w http.ResponseWriter, svc *Service, err error) {
+	secs := int(math.Ceil(svc.RetryAfter().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErr(w, http.StatusTooManyRequests, err)
 }

@@ -11,10 +11,23 @@
 // internal/experiments is now an injectable runner. Request flow:
 //
 //	memory (completed cell)      -> MemoryHits
+//	memory (LRU result tier)     -> MemoryHits (internal/restier; the
+//	                                cell's job was evicted but its
+//	                                document is still resident)
 //	identical cell in flight     -> Coalesced (attach, no new job)
-//	persistent store             -> DiskHits  (worker reads, no sim)
+//	persistent store             -> DiskHits  (worker reads, then
+//	                                           promotes into the tier)
 //	otherwise                    -> Sims      (worker simulates, then
-//	                                           writes through to disk)
+//	                                           writes through to disk
+//	                                           and the tier)
+//
+// Admission is bounded: with Config.MaxQueue set, a request that
+// would grow the pending queue past the bound fails fast with
+// ErrOverloaded instead of queueing without limit — the HTTP layer
+// maps it to 429 with a Retry-After estimate derived from recent
+// per-simulation latency (RetryAfter). Requests that do not grow the
+// queue — memory hits, tier hits, coalesced attaches — are always
+// admitted.
 //
 // Every admitted cell is one Job with an observable lifecycle
 // (queued, running, done, error) — the unit the zngd HTTP API
@@ -36,10 +49,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"zng/internal/config"
 	"zng/internal/experiments"
+	"zng/internal/latency"
 	"zng/internal/platform"
+	"zng/internal/restier"
 	"zng/internal/store"
 	"zng/internal/workload"
 )
@@ -47,6 +63,12 @@ import (
 // ErrClosed is returned by Submit after Close, and by Await for jobs
 // that were still queued when the service shut down.
 var ErrClosed = errors.New("simsvc: service closed")
+
+// ErrOverloaded is returned by Submit/Do when admitting the request
+// would grow the pending queue past Config.MaxQueue. The work was not
+// admitted; the caller should retry after the backlog drains (the
+// HTTP layer translates this to 429 with a Retry-After header).
+var ErrOverloaded = errors.New("simsvc: service overloaded: pending queue is full")
 
 // SimFunc computes one cell. The default is platform.RunMix; tests
 // inject stubs to pin scheduling behavior without paying for
@@ -66,6 +88,18 @@ type Config struct {
 	// bound, the oldest evictable jobs — done-and-persisted, or failed
 	// — are dropped from memory; their cells re-serve from the store.
 	MaxJobs int
+	// CacheEntries sizes the in-memory LRU result tier
+	// (internal/restier) fronting the store: cells whose jobs retention
+	// evicted — and disk hits on re-serve — stay resident as decoded
+	// documents, so the hot working set never pays the store's
+	// read+decode cost. 0 disables the tier (the pre-tier behavior).
+	CacheEntries int
+	// MaxQueue bounds the pending-job queue (0 = unbounded): a request
+	// that would queue a new simulation past the bound fails with
+	// ErrOverloaded instead of growing the backlog without limit.
+	// Memory hits, tier hits and coalesced attaches are always
+	// admitted.
+	MaxQueue int
 }
 
 // State is a job's lifecycle phase.
@@ -101,10 +135,26 @@ type JobInfo struct {
 	Priority int     `json:"priority"`
 	// Waiters counts the extra requests that coalesced onto this job.
 	Waiters int `json:"waiters"`
-	// Source records how the job was satisfied: "sim" or "disk"
-	// (empty until it finishes).
+	// Source records how the job was satisfied: "sim", "disk" or
+	// "memory" — the result tier — (empty until it finishes).
 	Source string `json:"source,omitempty"`
 	Error  string `json:"error,omitempty"`
+}
+
+// keyMemoBound caps the derived-key memo; past it the whole memo is
+// flushed (keys simply rederive), which keeps it bounded without LRU
+// bookkeeping.
+const keyMemoBound = 4096
+
+// keyID is the comparable tuple a cell key derives from. config.Config
+// is a flat value type (no slices, maps or pointers) and mixes
+// participate through their ID string, so the tuple is a valid map
+// key and names exactly what cellkey.Key hashes.
+type keyID struct {
+	kind  platform.Kind
+	mixID string
+	scale float64
+	cfg   config.Config
 }
 
 // job is one admitted cell. res and err are written exactly once,
@@ -148,18 +198,32 @@ func (j *job) info() JobInfo {
 
 // Service is the coalescing scheduler. Safe for concurrent use.
 type Service struct {
-	st      *store.Store
-	sim     SimFunc
-	maxJobs int
+	st       *store.Store
+	tier     *restier.Tiered
+	sim      SimFunc
+	maxJobs  int
+	maxQueue int
+	workers  int
+	// simHist records wall-clock per-simulation latency (serving-layer
+	// observability only — simulation results never depend on it). It
+	// is internally atomic, so workers record without the service lock.
+	simHist latency.Histogram
 
 	mu     sync.Mutex
 	cond   *sync.Cond              // queue became non-empty, or the service closed
 	queue  jobQueue                // guarded by mu
+	keys   map[keyID]string        // guarded by mu; memoized cell-key derivations (the hot path's SHA-256)
 	cells  map[string]*job         // guarded by mu; cell key -> owning job (completed cells stay: the memory layer)
 	jobs   map[string]*job         // guarded by mu; job id -> job
 	order  []*job                  // guarded by mu; submission order, for listing
 	nextID uint64                  // guarded by mu
 	stats  experiments.RunnerStats // guarded by mu
+	// rejected counts submissions refused with ErrOverloaded. guarded by mu.
+	rejected uint64
+	// simEWMA tracks recent per-simulation latency in nanoseconds
+	// (exponentially weighted, α=0.2) — the Retry-After estimator.
+	// guarded by mu.
+	simEWMA float64
 	// evictable counts retained jobs eligible for eviction, so a
 	// memory-only service (where done jobs are never evictable) skips
 	// the retention scan entirely instead of walking an ever-growing
@@ -180,11 +244,15 @@ func New(cfg Config) *Service {
 		cfg.Simulate = platform.RunMix
 	}
 	s := &Service{
-		st:      cfg.Store,
-		sim:     cfg.Simulate,
-		maxJobs: cfg.MaxJobs,
-		cells:   map[string]*job{},
-		jobs:    map[string]*job{},
+		st:       cfg.Store,
+		tier:     restier.NewTiered(cfg.CacheEntries, cfg.Store),
+		sim:      cfg.Simulate,
+		maxJobs:  cfg.MaxJobs,
+		maxQueue: cfg.MaxQueue,
+		workers:  cfg.Workers,
+		keys:     map[keyID]string{},
+		cells:    map[string]*job{},
+		jobs:     map[string]*job{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -215,9 +283,24 @@ func (s *Service) Submit(req Request) (string, error) {
 // internal callers keep a live reference that eviction cannot
 // invalidate.
 func (s *Service) submit(req Request) (*job, error) {
-	key := store.CellKey(req.Kind, req.Mix.ID(), req.Scale, req.Cfg)
+	id := keyID{kind: req.Kind, mixID: req.Mix.ID(), scale: req.Scale, cfg: req.Cfg}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	key, ok := s.keys[id]
+	if !ok {
+		// The SHA-256 over the canonical config encoding costs more
+		// than the rest of a hot-path hit put together, so derive it
+		// outside the lock and memoize. A concurrent submitter may
+		// rederive the same key; both write the identical value.
+		s.mu.Unlock()
+		derived := store.CellKey(req.Kind, req.Mix.ID(), req.Scale, req.Cfg)
+		s.mu.Lock()
+		if len(s.keys) >= keyMemoBound {
+			s.keys = make(map[keyID]string, keyMemoBound)
+		}
+		s.keys[id] = derived
+		key = derived
+	}
 	if s.closed {
 		return nil, ErrClosed
 	}
@@ -237,6 +320,43 @@ func (s *Service) submit(req Request) (*job, error) {
 			}
 		}
 		return j, nil
+	}
+	// The result tier can satisfy cells whose jobs retention evicted:
+	// the job memo is gone but the decoded document is still resident.
+	// Serve it as an already-done job — no queue slot, no worker
+	// round-trip. GetMem never touches the disk, so the lookup is safe
+	// under the service lock.
+	if r, ok := s.tier.GetMem(key); ok {
+		s.stats.MemoryHits++
+		s.nextID++
+		j := &job{
+			id:     fmt.Sprintf("job-%d", s.nextID),
+			seq:    s.nextID,
+			idx:    -1,
+			req:    req,
+			key:    key,
+			state:  StateDone,
+			source: "memory",
+			// With a store present the tier's residents came off disk or
+			// were written through; even after a rare failed write-through
+			// an eviction only costs a deterministic re-simulation.
+			persisted: s.tier.Store() != nil,
+			done:      make(chan struct{}),
+			res:       r,
+		}
+		close(j.done)
+		s.cells[key] = j
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		if s.jobEvictable(j) {
+			s.evictable++
+		}
+		s.evictLocked()
+		return j, nil
+	}
+	if s.maxQueue > 0 && len(s.queue) >= s.maxQueue {
+		s.rejected++
+		return nil, ErrOverloaded
 	}
 	s.nextID++
 	j := &job{
@@ -408,21 +528,24 @@ func (s *Service) worker() {
 		j.state = StateRunning
 		s.mu.Unlock()
 
-		if s.st != nil {
-			if r, ok := s.st.Get(j.key); ok {
-				s.finish(j, r, nil, "disk", true)
-				continue
-			}
+		if r, tier := s.tier.Get(j.key); tier != restier.TierNone {
+			// A disk hit was promoted into the memory tier on the way
+			// through; either way the result is already persisted.
+			s.finish(j, r, nil, tier.String(), true, 0)
+			continue
 		}
+		start := time.Now()
 		r, err := s.runCell(j)
+		simDur := time.Since(start)
 		persisted := false
-		if err == nil && s.st != nil {
-			// A failed write-through only costs a future re-simulation;
-			// the in-memory result this job now carries stays valid (but
-			// the job is not evictable — disk could not back it up).
-			persisted = s.st.Put(j.key, r) == nil
+		if err == nil {
+			// tier.Put writes the store first, then the memory tier. A
+			// failed write-through only costs a future re-simulation; the
+			// in-memory result this job now carries stays valid (but the
+			// job is not evictable — disk could not back it up).
+			persisted = s.tier.Put(j.key, r)
 		}
-		s.finish(j, r, err, "sim", persisted)
+		s.finish(j, r, err, "sim", persisted, simDur)
 	}
 }
 
@@ -441,8 +564,13 @@ func (s *Service) runCell(j *job) (r platform.Result, err error) {
 }
 
 // finish publishes a job's outcome, wakes its waiters, and evicts
-// past the retention bound.
-func (s *Service) finish(j *job, r platform.Result, err error, source string, persisted bool) {
+// past the retention bound. simDur is the wall-clock simulation time
+// (0 when the job was served from a tier) feeding the latency
+// histogram and the Retry-After estimator.
+func (s *Service) finish(j *job, r platform.Result, err error, source string, persisted bool, simDur time.Duration) {
+	if simDur > 0 {
+		s.simHist.Observe(simDur)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.res, j.err = r, err
@@ -457,10 +585,19 @@ func (s *Service) finish(j *job, r platform.Result, err error, source string, pe
 		s.evictable++
 	}
 	switch source {
+	case "memory":
+		s.stats.MemoryHits++
 	case "disk":
 		s.stats.DiskHits++
 	case "sim":
 		s.stats.Sims++
+		if simDur > 0 {
+			if s.simEWMA == 0 {
+				s.simEWMA = float64(simDur)
+			} else {
+				s.simEWMA = 0.8*s.simEWMA + 0.2*float64(simDur)
+			}
+		}
 	}
 	close(j.done)
 	s.evictLocked()
@@ -511,6 +648,47 @@ func (s *Service) EvictedJobs() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
+}
+
+// Rejected reports how many submissions admission control refused
+// with ErrOverloaded — the jobs_rejected gauge in /metrics.
+func (s *Service) Rejected() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejected
+}
+
+// TierStats snapshots the memory result tier's counters (zero-valued
+// when the tier is disabled) — the tier_* gauges in /metrics.
+func (s *Service) TierStats() restier.CacheStats { return s.tier.CacheStats() }
+
+// SimLatency summarizes recent per-simulation wall-clock latency —
+// the latency.sim block in /metrics.
+func (s *Service) SimLatency() latency.Snapshot { return s.simHist.Snapshot() }
+
+// RetryAfter estimates how long an ErrOverloaded caller should back
+// off before retrying: the recent per-simulation latency (EWMA) times
+// the queue drain rounds ahead of a new arrival, clamped to [1s, 5m].
+// Before any simulation has finished there is no estimate and the
+// floor applies.
+func (s *Service) RetryAfter() time.Duration {
+	s.mu.Lock()
+	est := time.Duration(s.simEWMA)
+	depth := len(s.queue)
+	s.mu.Unlock()
+	const floor, ceiling = time.Second, 5 * time.Minute
+	if est <= 0 {
+		return floor
+	}
+	// ceil((depth+1)/workers) queue drain rounds before a retry can run.
+	wait := est * time.Duration((depth+s.workers)/s.workers)
+	if wait < floor {
+		return floor
+	}
+	if wait > ceiling {
+		return ceiling
+	}
+	return wait
 }
 
 // jobQueue is the pending-job heap: highest priority first, FIFO
