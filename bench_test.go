@@ -9,6 +9,7 @@
 package zng_test
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -232,6 +233,38 @@ func BenchmarkAblationL2(b *testing.B) {
 		if _, _, err := experiments.AblationL2(o); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScaleSweep runs the top of the scale-sweep ladder (the 64x
+// point, see experiments.ScaleSweep) on the ZnG/HybridGPU pair and
+// reports the two machine-dependent numbers the deterministic docs
+// figure deliberately omits: host-side simulated insts/sec and the
+// process heap high-water after the run. Run it alone in a fresh
+// process (`go test -bench=ScaleSweep -benchtime=1x`) when comparing
+// peak heap across changes — heap-sys never shrinks, so earlier
+// benchmarks inflate it.
+func BenchmarkScaleSweep(b *testing.B) {
+	o := benchOptions()
+	mix := o.Mixes[0]
+	factors := experiments.ScaleSweepFactors
+	scale := experiments.ScaleSweepBase * float64(factors[len(factors)-1])
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		insts = 0
+		for _, k := range []platform.Kind{platform.HybridGPU, platform.ZnG} {
+			r, err := platform.RunMix(k, mix, scale, o.Cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			insts += r.Insts
+		}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	b.ReportMetric(float64(m.HeapSys), "peak-heap-bytes")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)*float64(b.N)/secs, "host-insts/sec")
 	}
 }
 

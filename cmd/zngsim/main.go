@@ -26,6 +26,9 @@
 // -cpuprofile captures a pprof profile of the simulation itself; this
 // is the loop used to find the simulator's hot paths (the rand-seeding
 // and event-queue costs this codebase has since eliminated).
+// -memprofile writes an allocation profile after the run — the loop
+// used to find translation-state memory hogs (the map-backed FTL and
+// TLB state this codebase has since replaced with dense tables).
 package main
 
 import (
@@ -33,9 +36,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"zng/internal/config"
 	"zng/internal/experiments"
@@ -54,6 +59,7 @@ func main() {
 		cacheDir = flag.String("cache", "", "read-through/write-through persistent result store directory")
 		list     = flag.Bool("list", false, "list platforms, applications and scenarios")
 		profile  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile taken after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -131,10 +137,23 @@ func main() {
 			f.Close()
 		}
 	}
+	start := time.Now()
 	r, err := run()
+	elapsed := time.Since(start)
 	stopProfile()
 	if err != nil {
 		fatal(err)
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // settle live heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 
 	fmt.Printf("platform:   %s\n", r.Kind)
@@ -142,6 +161,14 @@ func main() {
 	fmt.Printf("IPC:        %.4f\n", r.IPC)
 	fmt.Printf("cycles:     %d (%.3f ms simulated)\n", r.Cycles, config.TicksToNs(r.Cycles)/1e6)
 	fmt.Printf("insts:      %d\n", r.Insts)
+	// Host-side diagnostics go to stderr: stdout is the deterministic
+	// measurement set ("run twice and diff" must stay a valid oracle).
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Fprintf(os.Stderr, "host rate:  %.0f insts/sec (%.2fs wall)\n", float64(r.Insts)/secs, secs)
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	fmt.Fprintf(os.Stderr, "peak heap:  %.1f MiB\n", float64(m.HeapSys)/(1<<20))
 	fmt.Printf("L2 hit:     %.3f\n", r.L2HitRate)
 	fmt.Printf("TLB hit:    %.3f\n", r.TLBHitRate)
 	if r.FlashArrayGBps() > 0 {

@@ -226,6 +226,14 @@ func Registry() []Figure {
 			},
 			Check: checkAblL2,
 		},
+		{
+			ID: "scale-sweep", Ref: "perf (dense translation state)", Title: "Trace-scale sweep",
+			Driver: "ScaleSweep", ScaleFree: true,
+			Claim: "Simulator translation state (dense page tables, set-associative TLBs, dense row decoders) grows sublinearly with trace scale from 1x to 64x, so billion-edge traces are bounded by trace size, not device state.",
+			Shape: "Simulated instructions rise monotonically up the ladder while both platforms' translation-state bytes grow sublinearly versus work, and ZnG's bytes per mapped page fall.",
+			Run:   ScaleSweep,
+			Check: checkScaleSweep,
+		},
 	}
 }
 

@@ -12,9 +12,18 @@ import "slices"
 // drive the key onto the A/A' bitlines and discharge the matching
 // row); Insert models programming the key's bits through the B/B'
 // bitlines while the data page programs in the array.
+//
+// The state mirrors the hardware it models: slot-indexed key and
+// live-bit arrays sized by the decoder's capacity, plus a small
+// open-addressed index (linear probing, <=50% load) giving O(1)
+// Lookup without map overhead. Keys are only ever superseded in
+// place or bulk-erased by Reset, so the index needs no deletion.
 type RowDecoder struct {
-	cam      map[uint64]int
-	stale    map[int]bool // slots superseded by re-insertion
+	slotKey  []uint64 // key programmed into each consumed slot
+	live     []bool   // slot holds its key's newest version
+	idx      []int32  // open-addressed key index: slot+1, 0 = empty
+	idxMask  uint64
+	liveCnt  int
 	nextFree int
 	capacity int
 }
@@ -22,17 +31,36 @@ type RowDecoder struct {
 // NewRowDecoder creates a decoder for a log block of the given page
 // count.
 func NewRowDecoder(pagesPerBlock int) *RowDecoder {
+	idxSize := 1
+	for idxSize < 2*pagesPerBlock {
+		idxSize <<= 1
+	}
 	return &RowDecoder{
-		cam:      make(map[uint64]int),
-		stale:    make(map[int]bool),
+		slotKey:  make([]uint64, pagesPerBlock),
+		live:     make([]bool, pagesPerBlock),
+		idx:      make([]int32, idxSize),
+		idxMask:  uint64(idxSize - 1),
 		capacity: pagesPerBlock,
 	}
 }
 
+// probe returns the index position holding key, or the first empty
+// position along key's probe sequence.
+func (d *RowDecoder) probe(key uint64) uint64 {
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & d.idxMask
+	for d.idx[i] != 0 && d.slotKey[d.idx[i]-1] != key {
+		i = (i + 1) & d.idxMask
+	}
+	return i
+}
+
 // Lookup returns the slot holding key's newest version.
 func (d *RowDecoder) Lookup(key uint64) (slot int, ok bool) {
-	slot, ok = d.cam[key]
-	return slot, ok
+	i := d.probe(key)
+	if d.idx[i] == 0 {
+		return 0, false
+	}
+	return int(d.idx[i] - 1), true
 }
 
 // Insert allocates the next in-order slot for key. Re-inserting a key
@@ -42,12 +70,17 @@ func (d *RowDecoder) Insert(key uint64) (slot int, ok bool) {
 	if d.nextFree >= d.capacity {
 		return 0, false
 	}
-	if old, exists := d.cam[key]; exists {
-		d.stale[old] = true
+	i := d.probe(key)
+	if d.idx[i] != 0 {
+		d.live[d.idx[i]-1] = false // supersede the old slot in place
+	} else {
+		d.liveCnt++
 	}
 	slot = d.nextFree
 	d.nextFree++
-	d.cam[key] = slot
+	d.slotKey[slot] = key
+	d.live[slot] = true
+	d.idx[i] = int32(slot + 1)
 	return slot, true
 }
 
@@ -58,23 +91,33 @@ func (d *RowDecoder) Full() bool { return d.nextFree >= d.capacity }
 func (d *RowDecoder) Used() int { return d.nextFree }
 
 // Live reports the number of current (non-superseded) mappings.
-func (d *RowDecoder) Live() int { return len(d.cam) }
+func (d *RowDecoder) Live() int { return d.liveCnt }
 
 // Keys returns the live keys (for the GC merge step) in ascending
 // order, so every consumer walks the merge set deterministically —
-// map iteration order must never leak into the simulation.
+// no incidental structure order must ever leak into the simulation.
 func (d *RowDecoder) Keys() []uint64 {
-	out := make([]uint64, 0, len(d.cam))
-	for k := range d.cam {
-		out = append(out, k)
+	out := make([]uint64, 0, d.liveCnt)
+	for s := 0; s < d.nextFree; s++ {
+		if d.live[s] {
+			out = append(out, d.slotKey[s])
+		}
 	}
 	slices.Sort(out)
 	return out
 }
 
-// Reset clears the decoder after its log block is erased.
+// Reset clears the decoder after its log block is erased, keeping its
+// arrays allocated for the block's next life.
 func (d *RowDecoder) Reset() {
-	d.cam = make(map[uint64]int)
-	d.stale = make(map[int]bool)
+	clear(d.slotKey)
+	clear(d.live)
+	clear(d.idx)
+	d.liveCnt = 0
 	d.nextFree = 0
+}
+
+// StateBytes reports the decoder's allocated footprint.
+func (d *RowDecoder) StateBytes() uint64 {
+	return uint64(len(d.slotKey))*8 + uint64(len(d.live)) + uint64(len(d.idx))*4
 }

@@ -1,0 +1,129 @@
+package ftl
+
+// denseTable is a sharded two-level radix table for uint64 keys: a
+// growable shard directory (key bits 24+) over fixed 4096-entry mid
+// and leaf arrays allocated on first touch. Translation keys here are
+// sparse globally but dense within a cluster — virtual pages cluster
+// per (app, region), physical pages per block — so leaves pack to
+// ~8 B/entry once warm, versus ~50 B/entry of map bucket overhead,
+// and lookups are three array indexes with no hashing.
+//
+// Values are stored biased by +1 so a zeroed slot means "absent";
+// callers may store any value below ^uint64(0).
+const (
+	leafBits = 12
+	leafSize = 1 << leafBits
+	leafMask = leafSize - 1
+	midBits  = 12
+	midSize  = 1 << midBits
+	midMask  = midSize - 1
+)
+
+type denseLeaf [leafSize]uint64
+
+type denseMid [midSize]*denseLeaf
+
+type denseTable struct {
+	top    []*denseMid
+	count  int // live entries
+	mids   int // allocated mid nodes
+	leaves int // allocated leaf nodes
+}
+
+// get returns the value stored for key.
+func (t *denseTable) get(key uint64) (uint64, bool) {
+	ti := key >> (leafBits + midBits)
+	if ti >= uint64(len(t.top)) {
+		return 0, false
+	}
+	mid := t.top[ti]
+	if mid == nil {
+		return 0, false
+	}
+	leaf := mid[(key>>leafBits)&midMask]
+	if leaf == nil {
+		return 0, false
+	}
+	v := leaf[key&leafMask]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// put stores val for key, allocating the key's shard path on first
+// touch.
+func (t *denseTable) put(key, val uint64) {
+	ti := key >> (leafBits + midBits)
+	for ti >= uint64(len(t.top)) {
+		t.top = append(t.top, nil)
+	}
+	mid := t.top[ti]
+	if mid == nil {
+		mid = new(denseMid)
+		t.top[ti] = mid
+		t.mids++
+	}
+	li := (key >> leafBits) & midMask
+	leaf := mid[li]
+	if leaf == nil {
+		leaf = new(denseLeaf)
+		mid[li] = leaf
+		t.leaves++
+	}
+	slot := &leaf[key&leafMask]
+	if *slot == 0 {
+		t.count++
+	}
+	*slot = val + 1
+}
+
+// del removes key if present.
+func (t *denseTable) del(key uint64) {
+	ti := key >> (leafBits + midBits)
+	if ti >= uint64(len(t.top)) || t.top[ti] == nil {
+		return
+	}
+	leaf := t.top[ti][(key>>leafBits)&midMask]
+	if leaf == nil {
+		return
+	}
+	slot := &leaf[key&leafMask]
+	if *slot != 0 {
+		t.count--
+		*slot = 0
+	}
+}
+
+// len reports the number of live entries.
+func (t *denseTable) len() int { return t.count }
+
+// each visits every live entry in ascending key order — structural
+// iteration order, so no map-range nondeterminism can leak out.
+func (t *denseTable) each(fn func(key, val uint64)) {
+	for ti, mid := range t.top {
+		if mid == nil {
+			continue
+		}
+		for li, leaf := range mid {
+			if leaf == nil {
+				continue
+			}
+			base := uint64(ti)<<(leafBits+midBits) | uint64(li)<<leafBits
+			for i, v := range leaf {
+				if v != 0 {
+					fn(base|uint64(i), v-1)
+				}
+			}
+		}
+	}
+}
+
+// stateBytes reports the table's allocated footprint: the shard
+// directory plus every materialized mid and leaf array.
+func (t *denseTable) stateBytes() uint64 {
+	const ptrBytes = 8
+	return uint64(cap(t.top))*ptrBytes +
+		uint64(t.mids)*midSize*ptrBytes +
+		uint64(t.leaves)*leafSize*8
+}

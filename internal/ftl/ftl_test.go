@@ -301,14 +301,15 @@ func TestPageMappedNoAliasingProperty(t *testing.T) {
 			eng.Run()
 		}
 		seen := map[uint64]uint64{}
-		for vp, l := range p.table {
+		ok := true
+		p.EachMapping(func(vp uint64, l Loc) {
 			key := packLoc(l)
 			if other, dup := seen[key]; dup && other != vp {
-				return false
+				ok = false
 			}
 			seen[key] = vp
-		}
-		return true
+		})
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)

@@ -22,8 +22,8 @@ type PageMapped struct {
 	cfg config.FTL
 
 	planes int
-	table  map[uint64]Loc    // vpage -> physical location
-	owner  map[uint64]uint64 // packed physical location -> vpage
+	table  denseTable // vpage -> packed physical location
+	owner  denseTable // dense physical page index -> vpage
 
 	alloc   []*planeAlloc
 	open    []int // per-plane open write block (-1 = none)
@@ -49,8 +49,6 @@ func NewPageMapped(eng *sim.Engine, bb *flash.Backbone, cfg config.FTL) *PageMap
 		bb:     bb,
 		cfg:    cfg,
 		planes: bb.Planes(),
-		table:  make(map[uint64]Loc),
-		owner:  make(map[uint64]uint64),
 	}
 	for i := 0; i < p.planes; i++ {
 		p.alloc = append(p.alloc, newPlaneAlloc(bb.Plane(i), 0, bb.Cfg.BlocksPerPl))
@@ -67,12 +65,23 @@ func packLoc(l Loc) uint64 {
 	return uint64(l.Plane)<<40 | uint64(l.Block)<<16 | uint64(l.Page)
 }
 
+func unpackLoc(v uint64) Loc {
+	return Loc{Plane: int(v >> 40), Block: int(v >> 16 & 0xFFFFFF), Page: int(v & 0xFFFF)}
+}
+
+// physIdx flattens a location into the dense physical page index the
+// owner table is keyed by — physical space is fully dense, so the
+// reverse mapping needs no sharding headroom beyond the geometry.
+func (p *PageMapped) physIdx(l Loc) uint64 {
+	return (uint64(l.Plane)*uint64(p.bb.Cfg.BlocksPerPl)+uint64(l.Block))*uint64(p.bb.Cfg.PagesPerBlock) + uint64(l.Page)
+}
+
 // Lookup resolves va, lazily placing never-written pages in preloaded
 // blocks striped across planes (the state of a freshly imaged drive).
 func (p *PageMapped) Lookup(va uint64) Loc {
 	vp := p.vpage(va)
-	if l, ok := p.table[vp]; ok {
-		return l
+	if v, ok := p.table.get(vp); ok {
+		return unpackLoc(v)
 	}
 	plane := int(vp % uint64(p.planes))
 	ps := &p.preload[plane]
@@ -86,8 +95,8 @@ func (p *PageMapped) Lookup(va uint64) Loc {
 	l := Loc{Plane: plane, Block: ps.block, Page: ps.next}
 	ps.next++
 	p.bb.Plane(plane).PreloadPage(l.Block, l.Page)
-	p.table[vp] = l
-	p.owner[packLoc(l)] = vp
+	p.table.put(vp, packLoc(l))
+	p.owner.put(p.physIdx(l), vp)
 	return l
 }
 
@@ -104,13 +113,14 @@ func (p *PageMapped) WritePage(va uint64, fn func()) {
 func (p *PageMapped) writeTo(plane int, vp uint64, fn func()) {
 	blk, page := p.nextSlot(plane)
 	// Invalidate the previous version.
-	if old, ok := p.table[vp]; ok {
+	if v, ok := p.table.get(vp); ok {
+		old := unpackLoc(v)
 		p.bb.Plane(old.Plane).MarkInvalid(old.Block, old.Page)
-		delete(p.owner, packLoc(old))
+		p.owner.del(p.physIdx(old))
 	}
 	l := Loc{Plane: plane, Block: blk, Page: page}
-	p.table[vp] = l
-	p.owner[packLoc(l)] = vp
+	p.table.put(vp, packLoc(l))
+	p.owner.put(p.physIdx(l), vp)
 	if err := p.bb.Plane(plane).Program(blk, page, fn); err != nil {
 		panic("ftl: page-mapped program failed: " + err.Error())
 	}
@@ -154,7 +164,7 @@ func (p *PageMapped) maybeGC(plane int) {
 			// The foreground may have rewritten the page while the GC
 			// read burst was in flight; only move still-current copies,
 			// or the stale move would clobber the newer mapping.
-			if cur, ok := p.table[m.vp]; !ok || cur != m.loc {
+			if cur, ok := p.table.get(m.vp); !ok || unpackLoc(cur) != m.loc {
 				continue
 			}
 			p.GCMoves.Inc()
@@ -197,7 +207,7 @@ func (p *PageMapped) pickVictim(plane int) (victim int, moves []gcMove) {
 	for page := 0; page < p.bb.Cfg.PagesPerBlock; page++ {
 		if pl.Block(victim).Valid(page) {
 			l := Loc{Plane: plane, Block: victim, Page: page}
-			if vp, ok := p.owner[packLoc(l)]; ok {
+			if vp, ok := p.owner.get(p.physIdx(l)); ok {
 				moves = append(moves, gcMove{vp: vp, loc: l})
 			}
 		}
@@ -212,4 +222,20 @@ func (p *PageMapped) FreeBlocks() int {
 		n += a.freeCount()
 	}
 	return n
+}
+
+// EachMapping visits every live vpage -> location mapping in
+// ascending vpage order (tests and audits).
+func (p *PageMapped) EachMapping(fn func(vp uint64, l Loc)) {
+	p.table.each(func(vp, v uint64) { fn(vp, unpackLoc(v)) })
+}
+
+// MappedPages reports the number of mapped virtual pages.
+func (p *PageMapped) MappedPages() int { return p.table.len() }
+
+// StateBytes reports the allocated footprint of the translation
+// state — the forward page table plus the reverse owner mapping —
+// the in-firmware-DRAM metadata the paper's Section II-B costs out.
+func (p *PageMapped) StateBytes() uint64 {
+	return p.table.stateBytes() + p.owner.stateBytes()
 }

@@ -29,11 +29,17 @@ type Split struct {
 
 	// DBMT: virtual block -> physical data block (within the block's
 	// home plane). Read-only from the request path's perspective; only
-	// the helper thread rewrites it during GC.
-	dbmt map[uint64]int
+	// the helper thread rewrites it during GC. Virtual block numbers
+	// are dense (they grow with the footprint), so the sharded table
+	// packs them at ~8 B/entry.
+	dbmt denseTable
 
-	// LBMT: (plane, group) -> log block + its row-decoder LPMT.
-	groups map[uint64]*logGroup
+	// LBMT: (plane, group) -> log block + its row-decoder LPMT. The
+	// groups live in an append-only arena; gidx maps the dense group
+	// key to arena index, so the hot write path does one radix lookup
+	// and one slice index instead of a map probe.
+	groups []*logGroup
+	gidx   denseTable
 
 	alloc []*planeAlloc
 
@@ -70,8 +76,6 @@ func NewSplit(eng *sim.Engine, bb *flash.Backbone, cfg config.FTL) *Split {
 		helper:        sim.NewResource(eng),
 		pagesPerBlock: bb.Cfg.PagesPerBlock,
 		planes:        bb.Planes(),
-		dbmt:          make(map[uint64]int),
-		groups:        make(map[uint64]*logGroup),
 	}
 	for i := 0; i < s.planes; i++ {
 		s.alloc = append(s.alloc, newPlaneAlloc(bb.Plane(i), 0, bb.Cfg.BlocksPerPl))
@@ -101,8 +105,8 @@ func (s *Split) PlaneOf(vb uint64) int { return int(vb % uint64(s.planes)) }
 // dataBlock returns (allocating and preloading on first touch) the
 // physical data block of vb.
 func (s *Split) dataBlock(vb uint64) int {
-	if b, ok := s.dbmt[vb]; ok {
-		return b
+	if b, ok := s.dbmt.get(vb); ok {
+		return int(b)
 	}
 	plane := s.PlaneOf(vb)
 	b, ok := s.alloc[plane].pop()
@@ -110,21 +114,24 @@ func (s *Split) dataBlock(vb uint64) int {
 		panic("ftl: plane out of data blocks (working set exceeds capacity)")
 	}
 	s.bb.Plane(plane).Preload(b)
-	s.dbmt[vb] = b
+	s.dbmt.put(vb, uint64(b))
 	return b
 }
 
+// groupKey numbers log groups densely — group stripe index major,
+// home plane minor — so the group index table's shard directory stays
+// as compact as the footprint itself.
 func (s *Split) groupKey(vb uint64) uint64 {
 	plane := uint64(s.PlaneOf(vb))
 	idx := (vb / uint64(s.planes)) / uint64(s.cfg.DataBlocksPerLog)
-	return plane<<32 | idx
+	return idx*uint64(s.planes) + plane
 }
 
 // group returns (allocating on first write) the log group of vb.
 func (s *Split) group(vb uint64) *logGroup {
 	key := s.groupKey(vb)
-	if g, ok := s.groups[key]; ok {
-		return g
+	if gi, ok := s.gidx.get(key); ok {
+		return s.groups[gi]
 	}
 	plane := s.PlaneOf(vb)
 	b, ok := s.alloc[plane].pop()
@@ -132,7 +139,8 @@ func (s *Split) group(vb uint64) *logGroup {
 		panic("ftl: plane out of log blocks")
 	}
 	g := &logGroup{plane: plane, block: b, dec: flash.NewRowDecoder(s.pagesPerBlock)}
-	s.groups[key] = g
+	s.gidx.put(key, uint64(len(s.groups)))
+	s.groups = append(s.groups, g)
 	return g
 }
 
@@ -148,7 +156,8 @@ func (s *Split) lpmtKey(vb uint64, pageIdx int) uint64 {
 func (s *Split) ReadLoc(va uint64) Loc {
 	vb, pageIdx := s.VBlock(va)
 	plane := s.PlaneOf(vb)
-	if g, ok := s.groups[s.groupKey(vb)]; ok {
+	if gi, ok := s.gidx.get(s.groupKey(vb)); ok {
+		g := s.groups[gi]
 		if slot, hit := g.dec.Lookup(s.lpmtKey(vb, pageIdx)); hit {
 			s.LogHits.Inc()
 			return Loc{Plane: plane, Block: g.block, Page: slot, FromLog: true}
@@ -185,7 +194,8 @@ func (s *Split) program(g *logGroup, vb uint64, pageIdx int, fn func()) {
 		s.bb.Plane(g.plane).MarkInvalid(g.block, old)
 	} else {
 		// First redirection of this page: the data-block copy is stale.
-		s.bb.Plane(g.plane).MarkInvalid(s.dbmt[vb], pageIdx)
+		db, _ := s.dbmt.get(vb)
+		s.bb.Plane(g.plane).MarkInvalid(int(db), pageIdx)
 	}
 	slot, ok := g.dec.Insert(key)
 	if !ok {
@@ -204,29 +214,37 @@ func (s *Split) merge(g *logGroup) {
 	g.merging = true
 	s.Merges.Inc()
 
-	// Affected virtual blocks: those with live log entries.
-	affected := map[uint64]bool{}
-	liveLog := 0
-	for _, key := range g.dec.Keys() {
-		affected[key/uint64(s.pagesPerBlock)] = true
-		liveLog++
+	// Affected virtual blocks: those with live log entries. Keys()
+	// is sorted, so dividing by the page count yields the affected
+	// blocks already deduplicated in ascending order — the merge walk
+	// below is structurally deterministic.
+	var affected []uint64
+	keys := g.dec.Keys()
+	for _, key := range keys {
+		vb := key / uint64(s.pagesPerBlock)
+		if n := len(affected); n == 0 || affected[n-1] != vb {
+			affected = append(affected, vb)
+		}
 	}
+	liveLog := len(keys)
 
 	plane := s.bb.Plane(g.plane)
 	s.helper.Acquire(s.cfg.HelperThreadLat, func() {
 		// Read phase: live log pages plus the still-valid pages of each
 		// affected data block.
 		reads := liveLog
-		for vb := range affected {
-			reads += plane.Block(s.dbmt[vb]).ValidCount()
+		for _, vb := range affected {
+			db, _ := s.dbmt.get(vb)
+			reads += plane.Block(int(db)).ValidCount()
 		}
 		s.MergeReads.Add(uint64(reads))
 		plane.ReadMany(reads, func() {
 			// Program phase: each affected vblock gets a fresh, wear-
 			// levelled block holding all of its pages.
 			programs := 0
-			for vb := range affected {
-				old := s.dbmt[vb]
+			for _, vb := range affected {
+				oldDB, _ := s.dbmt.get(vb)
+				old := int(oldDB)
 				fresh, ok := s.alloc[g.plane].pop()
 				if !ok {
 					panic("ftl: no free block for merge")
@@ -238,7 +256,7 @@ func (s *Split) merge(g *logGroup) {
 				if err := plane.Erase(old, nil); err == nil {
 					s.alloc[g.plane].push(old)
 				}
-				s.dbmt[vb] = fresh
+				s.dbmt.put(vb, uint64(fresh))
 			}
 			s.MergePrograms.Add(uint64(programs))
 
@@ -284,6 +302,23 @@ func (s *Split) FreeBlocks() int {
 		n += a.freeCount()
 	}
 	return n
+}
+
+// MappedPages reports the virtual pages covered by DBMT entries —
+// every page of a mapped virtual block resolves without firmware.
+func (s *Split) MappedPages() int { return s.dbmt.len() * s.pagesPerBlock }
+
+// StateBytes reports the allocated footprint of the split FTL's
+// translation state: the DBMT (the part ZnG holds in MMU SRAM), the
+// log-group directory, and every log block's row-decoder CAM.
+func (s *Split) StateBytes() uint64 {
+	const groupStruct = 64 // logGroup header, pointer-aligned
+	b := s.dbmt.stateBytes() + s.gidx.stateBytes()
+	b += uint64(cap(s.groups)) * 8
+	for _, g := range s.groups {
+		b += groupStruct + g.dec.StateBytes()
+	}
+	return b
 }
 
 // MaxEraseCount reports the largest per-block erase count observed —

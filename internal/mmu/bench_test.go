@@ -1,0 +1,35 @@
+package mmu
+
+import "testing"
+
+// BenchmarkTLBLookup measures the L1-TLB hot path: a lookup stream
+// over a working set 4x the TLB's capacity, inserting on every miss —
+// the steady-state mix every simulated memory instruction pays.
+func BenchmarkTLBLookup(b *testing.B) {
+	for _, capacity := range []int{64, 1024} {
+		b.Run(map[int]string{64: "l1-64", 1024: "walkcache-1024"}[capacity], func(b *testing.B) {
+			t := newTLB(capacity)
+			pages := make([]uint64, capacity*4)
+			// Deterministic xorshift page stream (no math/rand, mirroring
+			// the repo-wide determinism discipline even in benches).
+			x := uint64(0x9E3779B97F4A7C15)
+			for i := range pages {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				pages[i] = x % uint64(capacity*4)
+			}
+			for _, p := range pages {
+				t.insert(p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pages[i%len(pages)]
+				if !t.lookup(p) {
+					t.insert(p)
+				}
+			}
+		})
+	}
+}

@@ -25,40 +25,215 @@ import (
 // PageBytes is the translation granularity.
 const PageBytes = 4096
 
-// tlb is a fully-associative LRU translation buffer.
+// tlb is a set-associative translation buffer with exact per-set LRU
+// replacement, laid out as dense slot arrays: per-set intrusive LRU
+// lists give O(1) hit promotion and eviction, and a small
+// open-addressed index (linear probing with backward-shift deletion,
+// <=50% load) gives O(1) slot resolution without map overhead or the
+// O(capacity) victim scan the map-backed buffer paid on every
+// eviction. A single set with as many ways as entries — the
+// simulator's default geometry — is exactly the fully-associative
+// LRU buffer of Sections II-A/III-B.
 type tlb struct {
-	cap     int
-	clock   uint64
-	entries map[uint64]uint64 // page -> LRU stamp
+	sets, ways int
+
+	// Slot state, len sets*ways; set s owns slots [s*ways, s*ways+ways).
+	keys       []uint64
+	prev, next []int32 // intrusive LRU list; next also links free slots
+
+	// Per-set list state: MRU head, LRU tail, free-slot stack, live
+	// count. -1 marks an empty list.
+	head, tail, free, size []int32
+
+	// Open-addressed page -> slot+1 index (0 = empty).
+	idxKey  []uint64
+	idxSlot []int32
+	idxMask uint64
 }
 
-func newTLB(capacity int) *tlb {
-	return &tlb{cap: capacity, entries: make(map[uint64]uint64, capacity)}
+// newTLB builds the default fully-associative geometry.
+func newTLB(capacity int) *tlb { return newSetAssocTLB(1, capacity) }
+
+// newSetAssocTLB builds a sets x ways buffer; pages map to sets by
+// page number modulo sets.
+func newSetAssocTLB(sets, ways int) *tlb {
+	n := sets * ways
+	idxSize := 1
+	for idxSize < 2*n {
+		idxSize <<= 1
+	}
+	t := &tlb{
+		sets: sets, ways: ways,
+		keys: make([]uint64, n),
+		prev: make([]int32, n),
+		next: make([]int32, n),
+		head: make([]int32, sets),
+		tail: make([]int32, sets),
+		free: make([]int32, sets),
+		size: make([]int32, sets),
+
+		idxKey:  make([]uint64, idxSize),
+		idxSlot: make([]int32, idxSize),
+		idxMask: uint64(idxSize - 1),
+	}
+	for s := 0; s < sets; s++ {
+		t.head[s], t.tail[s] = -1, -1
+		t.free[s] = int32(s * ways)
+		for w := 0; w < ways; w++ {
+			slot := s*ways + w
+			t.next[slot] = int32(slot + 1)
+			if w == ways-1 {
+				t.next[slot] = -1
+			}
+		}
+	}
+	return t
+}
+
+func (t *tlb) hash(page uint64) uint64 {
+	return (page * 0x9E3779B97F4A7C15) >> 32 & t.idxMask
+}
+
+// find resolves page to its slot through the index.
+func (t *tlb) find(page uint64) (int32, bool) {
+	for i := t.hash(page); t.idxSlot[i] != 0; i = (i + 1) & t.idxMask {
+		if t.idxKey[i] == page {
+			return t.idxSlot[i] - 1, true
+		}
+	}
+	return 0, false
+}
+
+func (t *tlb) idxInsert(page uint64, slot int32) {
+	i := t.hash(page)
+	for t.idxSlot[i] != 0 {
+		i = (i + 1) & t.idxMask
+	}
+	t.idxKey[i] = page
+	t.idxSlot[i] = slot + 1
+}
+
+// idxDelete removes page's index entry, backward-shifting the probe
+// run so linear probing never needs tombstones.
+func (t *tlb) idxDelete(page uint64) {
+	i := t.hash(page)
+	for t.idxKey[i] != page || t.idxSlot[i] == 0 {
+		i = (i + 1) & t.idxMask
+	}
+	for {
+		t.idxSlot[i] = 0
+		j := i
+		for {
+			j = (j + 1) & t.idxMask
+			if t.idxSlot[j] == 0 {
+				return
+			}
+			h := t.hash(t.idxKey[j])
+			// Move j's entry into the hole at i only if its home
+			// position lies cyclically outside (i, j] — otherwise the
+			// entry is still reachable from its home and must stay.
+			if i <= j && h <= i || h > j && (i <= j || h <= i) {
+				t.idxKey[i], t.idxSlot[i] = t.idxKey[j], t.idxSlot[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// listUnlink removes slot from set s's LRU list.
+func (t *tlb) listUnlink(s int, slot int32) {
+	if t.prev[slot] >= 0 {
+		t.next[t.prev[slot]] = t.next[slot]
+	} else {
+		t.head[s] = t.next[slot]
+	}
+	if t.next[slot] >= 0 {
+		t.prev[t.next[slot]] = t.prev[slot]
+	} else {
+		t.tail[s] = t.prev[slot]
+	}
+}
+
+// listPushFront makes slot set s's MRU.
+func (t *tlb) listPushFront(s int, slot int32) {
+	t.prev[slot] = -1
+	t.next[slot] = t.head[s]
+	if t.head[s] >= 0 {
+		t.prev[t.head[s]] = slot
+	} else {
+		t.tail[s] = slot
+	}
+	t.head[s] = slot
+}
+
+func (t *tlb) set(page uint64) int { return int(page % uint64(t.sets)) }
+
+// evict drops set s's LRU entry, freeing its slot.
+func (t *tlb) evict(s int) {
+	victim := t.tail[s]
+	t.idxDelete(t.keys[victim])
+	t.listUnlink(s, victim)
+	t.next[victim] = t.free[s]
+	t.free[s] = victim
+	t.size[s]--
 }
 
 func (t *tlb) lookup(page uint64) bool {
-	if _, ok := t.entries[page]; !ok {
+	slot, ok := t.find(page)
+	if !ok {
 		return false
 	}
-	t.clock++
-	t.entries[page] = t.clock
+	s := int(slot) / t.ways
+	if t.head[s] != slot {
+		t.listUnlink(s, slot)
+		t.listPushFront(s, slot)
+	}
 	return true
 }
 
+// insert fills page's set, evicting that set's LRU entry first when
+// the set is full — including the degenerate re-insert-at-capacity
+// case, where page itself is the LRU victim and cycles through a
+// fresh slot, exactly as the stamp-based buffer behaved.
 func (t *tlb) insert(page uint64) {
-	t.clock++
-	if len(t.entries) >= t.cap {
-		var victim uint64
-		oldest := ^uint64(0)
-		for p, s := range t.entries {
-			if s < oldest {
-				oldest = s
-				victim = p
-			}
-		}
-		delete(t.entries, victim)
+	s := t.set(page)
+	if int(t.size[s]) >= t.ways {
+		t.evict(s)
 	}
-	t.entries[page] = t.clock
+	if slot, ok := t.find(page); ok {
+		if t.head[s] != slot {
+			t.listUnlink(s, slot)
+			t.listPushFront(s, slot)
+		}
+		return
+	}
+	slot := t.free[s]
+	t.free[s] = t.next[slot]
+	t.keys[slot] = page
+	t.idxInsert(page, slot)
+	t.listPushFront(s, slot)
+	t.size[s]++
+}
+
+// invalidate drops page if present.
+func (t *tlb) invalidate(page uint64) {
+	slot, ok := t.find(page)
+	if !ok {
+		return
+	}
+	s := int(slot) / t.ways
+	t.idxDelete(page)
+	t.listUnlink(s, slot)
+	t.next[slot] = t.free[s]
+	t.free[s] = slot
+	t.size[s]--
+}
+
+// stateBytes reports the buffer's allocated footprint.
+func (t *tlb) stateBytes() uint64 {
+	n := uint64(len(t.keys))
+	return n*8 + n*4*2 + uint64(len(t.head))*4*4 + uint64(len(t.idxKey))*12
 }
 
 // Unit is the shared MMU plus the per-SM L1 TLBs.
@@ -172,9 +347,19 @@ func (u *Unit) Request(sm int, va uint64, done func(pa uint64)) {
 // after garbage collection remaps blocks).
 func (u *Unit) InvalidatePage(page uint64) {
 	for _, t := range u.l1 {
-		delete(t.entries, page)
+		t.invalidate(page)
 	}
-	delete(u.walkCache.entries, page)
+	u.walkCache.invalidate(page)
+}
+
+// StateBytes reports the allocated footprint of every TLB level —
+// the MMU's share of the translation state the scale sweep tracks.
+func (u *Unit) StateBytes() uint64 {
+	b := u.walkCache.stateBytes()
+	for _, t := range u.l1 {
+		b += t.stateBytes()
+	}
+	return b
 }
 
 // L1HitRate reports the aggregate L1 TLB hit rate.

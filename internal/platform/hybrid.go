@@ -32,6 +32,8 @@ func buildHybrid(eng *sim.Engine, cfg config.Config) *system {
 			r.Extra["engine_busy"] = float64(mod.EngineBusyTicks())
 			r.Extra["channel_bytes"] = float64(mod.ChannelBytes())
 			r.Extra["gc_runs"] = float64(mod.FTL.GCRuns.Value())
+			r.Extra["translation_state_bytes"] = float64(mod.FTL.StateBytes() + u.StateBytes())
+			r.Extra["mapped_pages"] = float64(mod.FTL.MappedPages())
 		},
 	}
 }

@@ -124,6 +124,17 @@ type Result struct {
 // FlashArrayGBps reports combined array bandwidth.
 func (r Result) FlashArrayGBps() float64 { return r.FlashReadGBps + r.FlashWriteGBps }
 
+// SimInstsPerSec reports simulated instruction throughput: retired
+// instructions over simulated (not host) time. Unlike wall-clock
+// rates it is deterministic, so figures may render it.
+func (r Result) SimInstsPerSec() float64 {
+	ns := config.TicksToNs(r.Cycles)
+	if ns <= 0 {
+		return 0
+	}
+	return float64(r.Insts) / (ns * 1e-9)
+}
+
 // maxEvents caps a single simulation; hitting it means a deadlock or
 // runaway configuration, which is a bug worth failing loudly on.
 const maxEvents = 600_000_000

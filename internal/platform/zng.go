@@ -111,6 +111,8 @@ func buildZnG(eng *sim.Engine, kind Kind, cfg config.Config) *system {
 			r.Extra["prefetch_bytes"] = float64(ctl.PrefetchBytes.Value())
 			r.Extra["reg_page_hits"] = float64(ctl.RegReadHits.Value())
 			r.Extra["sense_merges"] = float64(ctl.SenseMerges.Value())
+			r.Extra["translation_state_bytes"] = float64(split.StateBytes() + u.StateBytes())
+			r.Extra["mapped_pages"] = float64(split.MappedPages())
 			if ctl.pf != nil {
 				r.Extra["prefetch_issued"] = float64(ctl.pf.Issued.Value())
 				r.Extra["prefetch_gran"] = float64(ctl.pf.Granularity())

@@ -44,6 +44,7 @@ func TestBenchSmoke(t *testing.T) {
 		{"AblationConsolidation", BenchmarkAblationConsolidation},
 		{"AblationGC", BenchmarkAblationGC},
 		{"AblationL2", BenchmarkAblationL2},
+		{"ScaleSweep", BenchmarkScaleSweep},
 		{"Platforms", BenchmarkPlatforms},
 	} {
 		bm := bm
