@@ -18,6 +18,10 @@
 //	POST /v1/campaigns       start a declarative sweep (internal/campaign Spec)
 //	GET  /v1/campaigns       campaign list with live progress
 //	GET  /v1/campaigns/{id}  campaign progress + result matrix once done
+//	POST /v1/campaigns/{id}/resume  resume a store-checkpointed campaign
+//	POST /v1/fleet/register  join a worker to this coordinator's fleet
+//	POST /v1/fleet/heartbeat refresh a worker's liveness and load
+//	GET  /v1/fleet           live peer roster + fleet gauges
 //	GET  /v1/scenarios       workload scenario registry
 //	GET  /v1/platforms       platform vocabulary
 //	GET  /healthz            liveness
@@ -36,6 +40,16 @@
 // SIGINT/SIGTERM the daemon stops accepting connections, lets
 // in-flight requests (and their simulations) drain, then closes the
 // service.
+//
+// Fleet: every zngd is a coordinator — workers join it with POST
+// /v1/fleet/register and heartbeats, campaigns POSTed to it fan out
+// over the live membership (falling back to local execution), and
+// with -cache they checkpoint per cell into the store so POST
+// /v1/campaigns/{id}/resume picks a half-finished sweep back up after
+// a restart with zero re-simulation of journaled cells. Started with
+// -coordinator URL, the daemon is additionally a worker: it registers
+// its own serving address (-advertise overrides what it announces)
+// with that coordinator and heartbeats its queue depth until shutdown.
 package main
 
 import (
@@ -51,6 +65,7 @@ import (
 	"time"
 
 	"zng/internal/config"
+	"zng/internal/fleet"
 	"zng/internal/simsvc"
 	"zng/internal/store"
 )
@@ -65,6 +80,10 @@ func main() {
 		maxQueue = flag.Int("max-queue", 1024, "pending simulations before admission returns 429 (0 = unbounded)")
 		addrFile = flag.String("addr-file", "", "write the actual listen address to this file once bound")
 		drain    = flag.Duration("drain", 5*time.Minute, "graceful-shutdown drain budget for in-flight simulations")
+
+		coordinator = flag.String("coordinator", "", "join this coordinator's fleet as a worker (host:port or URL)")
+		advertise   = flag.String("advertise", "", "address to register with the coordinator (default: the bound listen address)")
+		fleetTTL    = flag.Duration("fleet-ttl", fleet.DefaultTTL, "heartbeat expiry window for workers registered with this daemon")
 	)
 	flag.Parse()
 
@@ -109,9 +128,34 @@ func main() {
 	}
 	fmt.Printf("zngd: listening on http://%s (cache: %s)\n", bound, cache)
 
-	srv := &http.Server{Handler: simsvc.NewHandler(svc, config.Default())}
+	// Every daemon coordinates: the fleet endpoints are always live,
+	// and a campaign POSTed here fans out over whatever workers have
+	// registered (none = plain local execution, the old behavior).
+	// With a store, campaigns checkpoint under it and survive restarts.
+	fc := fleet.New(fleet.Config{
+		Local:   svc,
+		Store:   st,
+		TTL:     *fleetTTL,
+		Workers: *workers,
+		Base:    config.Default(),
+	})
+	srv := &http.Server{Handler: simsvc.NewHandler(svc, config.Default(), simsvc.WithFleet(fc))}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// Worker mode: keep this daemon registered with the coordinator,
+	// heartbeating the live backlog, until shutdown. The agent
+	// re-registers on its own after coordinator restarts or missed
+	// heartbeats.
+	if *coordinator != "" {
+		workerAddr := bound
+		if *advertise != "" {
+			workerAddr = *advertise
+		}
+		agent := fleet.StartAgent(*coordinator, workerAddr, svc.Load)
+		defer agent.Stop()
+		fmt.Printf("zngd: worker registered with coordinator %s as %s\n", *coordinator, workerAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -30,6 +30,15 @@
 // retry-on-peer-failure — several daemons become one simulation
 // fleet, and results are byte-identical to a local run.
 //
+// With -coordinator URL the campaign runs inside a zngd fleet
+// coordinator instead of this process: the spec is POSTed to
+// /v1/campaigns, progress polls until done, and the coordinator's
+// folded matrix renders locally. Campaigns run that way are durable —
+// the coordinator checkpoints each cell into its store — so
+// `zngsweep -coordinator URL -resume ID` resumes a sweep the
+// coordinator (or this command) died in the middle of, re-running
+// only the cells the journal is missing.
+//
 // The result matrix renders as a text table by default, or through
 // internal/report with -format md|csv|json. Cells that fail after
 // -retries attempts render as ERROR and the exit status is non-zero;
@@ -42,6 +51,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"slices"
 	"strconv"
@@ -65,6 +75,8 @@ func main() {
 		scenarios = flag.String("scenarios", "", "comma-separated scenario axis: registered names or '+'-joined ad-hoc compositions like bfs1+gaus*1.5")
 		scales    = flag.String("scales", "", "comma-separated scale axis (default 1.0, the Table II budgets)")
 		peers     = flag.String("peers", "", "comma-separated zngd peers to fan out across (host:port,...)")
+		coord     = flag.String("coordinator", "", "run the campaign inside this zngd fleet coordinator (host:port or URL)")
+		resumeID  = flag.String("resume", "", "resume a checkpointed campaign by id on the coordinator (requires -coordinator)")
 		cacheDir  = flag.String("cache", "", "persistent result store directory (local execution)")
 		workers   = flag.Int("workers", 0, "concurrent in-flight cells (0 = NumCPU)")
 		retries   = flag.Int("retries", 1, "extra attempts per failed cell")
@@ -77,9 +89,23 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (valid: %s)", *format, strings.Join(report.Formats(), ", ")))
 	}
 
+	if *resumeID != "" && *coord == "" {
+		fatal(fmt.Errorf("-resume needs -coordinator (the checkpoint lives in the coordinator's store)"))
+	}
+	if *coord != "" && (*peers != "" || *cacheDir != "") {
+		fatal(fmt.Errorf("-coordinator is its own backend; it excludes -peers and -cache"))
+	}
+
 	spec, err := buildSpec(*specFile, *name, *platforms, *scenarios, *scales)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *coord != "" {
+		if err := runOnCoordinator(*coord, spec, *resumeID, *format, *verbose); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Pick the execution backend: remote dispatcher > store-backed
@@ -165,6 +191,126 @@ func main() {
 	if err := out.Err(); err != nil {
 		fatal(err)
 	}
+}
+
+// coordCampaign mirrors the daemon's campaign status envelope (the
+// campaignInfo/campaignDetail shapes simsvc serves).
+type coordCampaign struct {
+	ID       string            `json:"id"`
+	Name     string            `json:"name"`
+	State    string            `json:"state"`
+	Progress campaign.Progress `json:"progress"`
+	Errors   []struct {
+		Platform string  `json:"platform"`
+		Scenario string  `json:"scenario"`
+		Scale    float64 `json:"scale"`
+		Config   string  `json:"config"`
+		Error    string  `json:"error"`
+	} `json:"errors"`
+	Table json.RawMessage `json:"table"`
+}
+
+// runOnCoordinator executes (or resumes) the campaign inside a zngd
+// fleet coordinator: POST the spec (or the resume), poll to done,
+// render the coordinator's folded matrix through the same emitters a
+// local run uses.
+func runOnCoordinator(base string, spec campaign.Spec, resumeID, format string, verbose bool) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	var resp *http.Response
+	var err error
+	if resumeID != "" {
+		resp, err = hc.Post(base+"/v1/campaigns/"+resumeID+"/resume", "application/json", strings.NewReader("{}"))
+	} else {
+		body, merr := json.Marshal(spec)
+		if merr != nil {
+			return merr
+		}
+		resp, err = hc.Post(base+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	}
+	if err != nil {
+		return err
+	}
+	var started struct {
+		Campaign coordCampaign `json:"campaign"`
+		Error    string        `json:"error"`
+	}
+	if err := decodeReply(resp, &started); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("coordinator refused the campaign (status %d): %s", resp.StatusCode, started.Error)
+	}
+	id := started.Campaign.ID
+	if verbose {
+		fmt.Fprintf(os.Stderr, "zngsweep: campaign %s on %s\n", id, base)
+	}
+
+	// Poll to done, backing off toward one-second probes.
+	delay := 50 * time.Millisecond
+	var detail struct {
+		coordCampaign
+		Error string `json:"error"`
+	}
+	for {
+		resp, err := hc.Get(base + "/v1/campaigns/" + id)
+		if err != nil {
+			return err
+		}
+		detail.Errors, detail.Table = nil, nil
+		if err := decodeReply(resp, &detail); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("polling campaign %s (status %d): %s", id, resp.StatusCode, detail.Error)
+		}
+		if detail.State == "done" {
+			break
+		}
+		if verbose {
+			p := detail.Progress
+			fmt.Fprintf(os.Stderr, "zngsweep: %d/%d done, %d failed, %d retried\n", p.Done, p.Total, p.Failed, p.Retried)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+
+	t, err := report.DecodeTable(detail.Table)
+	if err != nil {
+		return err
+	}
+	if format == "" {
+		fmt.Println(t)
+	} else {
+		rendered, err := report.Render(t, format)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(rendered); err != nil {
+			return err
+		}
+	}
+	for _, ce := range detail.Errors {
+		fmt.Fprintf(os.Stderr, "zngsweep: cell %s/%s@%v [%s]: %s\n", ce.Platform, ce.Scenario, ce.Scale, ce.Config, ce.Error)
+	}
+	if n := len(detail.Errors); n > 0 {
+		return fmt.Errorf("%d cells failed on the coordinator", n)
+	}
+	return nil
+}
+
+func decodeReply(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("undecodable coordinator reply (status %d): %w", resp.StatusCode, err)
+	}
+	return nil
 }
 
 // buildSpec loads the spec file, or assembles a spec from the axis

@@ -15,6 +15,14 @@ type Campaign struct {
 	run  *Run
 }
 
+// NewCampaign binds an externally managed id to a started Run — the
+// constructor durable coordinators (internal/fleet) use to run
+// campaigns under content-addressed ids while reusing the Executor's
+// machinery. Manager-started campaigns get sequential ids instead.
+func NewCampaign(id string, spec Spec, run *Run) *Campaign {
+	return &Campaign{ID: id, Spec: spec, run: run}
+}
+
 // Progress snapshots the campaign's live counters.
 func (c *Campaign) Progress() Progress { return c.run.Progress() }
 
@@ -23,6 +31,9 @@ func (c *Campaign) Done() bool { return c.run.Done() }
 
 // Outcome returns the completed outcome, or nil while running.
 func (c *Campaign) Outcome() *Outcome { return c.run.Outcome() }
+
+// Wait blocks until every cell resolves and returns the outcome.
+func (c *Campaign) Wait() *Outcome { return c.run.Wait() }
 
 // Cells returns the campaign's expanded grid.
 func (c *Campaign) Cells() []Cell { return c.run.Cells() }

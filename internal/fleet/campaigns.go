@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/store"
+)
+
+// Campaigns is the coordinator's durable campaign manager: the same
+// Start/Get/List lifecycle campaign.Manager gives the zngd API, plus
+// content-addressed ids, store-backed checkpoints and Resume. Every
+// campaign runs through the coordinator's fleet dispatch (falling
+// back to local execution), with each resolved cell journaled so a
+// restarted coordinator — or a fresh one pointed at the same store
+// directory — picks the sweep up where it died. Safe for concurrent
+// use.
+type Campaigns struct {
+	co      *Coordinator
+	ck      *Checkpointer
+	st      *store.Store
+	workers int
+	base    config.Config
+	max     int // guarded by mu (constructor-set, then only mutated via SetMaxCampaigns)
+
+	mu      sync.Mutex
+	order   []*campaign.Campaign          // guarded by mu; start order
+	byID    map[string]*campaign.Campaign // guarded by mu
+	runners map[string]*durableRunner     // guarded by mu; campaign id -> its journal-aware runner
+	resumed uint64                        // guarded by mu; campaigns started over a non-empty journal
+}
+
+func newCampaigns(co *Coordinator, cfg Config) *Campaigns {
+	return &Campaigns{
+		co:      co,
+		ck:      NewCheckpointer(cfg.Store),
+		st:      cfg.Store,
+		workers: cfg.Workers,
+		base:    cfg.Base,
+		max:     campaign.DefaultMaxCampaigns,
+		byID:    map[string]*campaign.Campaign{},
+		runners: map[string]*durableRunner{},
+	}
+}
+
+// SetMaxCampaigns overrides the retention bound (0 = unbounded).
+// Evicted campaigns' checkpoints stay on disk — an evicted id still
+// resumes through Resume, it just re-loads from the store.
+func (m *Campaigns) SetMaxCampaigns(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.max = n
+	m.evictLocked()
+}
+
+// Start launches a campaign under its content-addressed id. Starting
+// a spec whose id is already live (running or retained-done) returns
+// the existing campaign — the idempotent-POST contract a client
+// retrying over a flaky link wants. When the store already holds a
+// journal for the id (a half-finished sweep from a previous process),
+// the campaign resumes: journaled cells serve from the store, only
+// the remainder dispatches.
+func (m *Campaigns) Start(spec campaign.Spec) (*campaign.Campaign, error) {
+	id := CampaignID(spec)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.byID[id]; ok {
+		return c, nil
+	}
+	journal, err := m.ck.LoadJournal(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ck.WriteSpec(id, spec); err != nil {
+		return nil, err
+	}
+	resuming := len(journal) > 0
+	dr := &durableRunner{inner: m.co, st: m.st, ck: m.ck, id: id, journal: journal}
+	exec := campaign.Executor{Runner: dr, Workers: m.workers, Retries: 1}
+	run, err := exec.Start(spec, m.base)
+	if err != nil {
+		return nil, err
+	}
+	if resuming {
+		m.resumed++
+	}
+	c := campaign.NewCampaign(id, spec, run)
+	m.order = append(m.order, c)
+	m.byID[id] = c
+	m.runners[id] = dr
+	m.evictLocked()
+	// Re-evict when this campaign finishes: campaigns that were running
+	// (unevictable) during later Starts must not linger past the bound
+	// just because no further Start ever happens.
+	go func() {
+		run.Wait()
+		m.mu.Lock()
+		m.evictLocked()
+		m.mu.Unlock()
+	}()
+	return c, nil
+}
+
+// Resume restarts a checkpointed campaign by id: a live id returns
+// the in-memory campaign, otherwise the spec reloads from the store
+// and Starts — which by construction derives the same id and skips
+// every journaled cell. Unknown ids (no checkpoint on disk) fail.
+func (m *Campaigns) Resume(id string) (*campaign.Campaign, error) {
+	m.mu.Lock()
+	c, ok := m.byID[id]
+	m.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	spec, err := m.ck.LoadSpec(id)
+	if err != nil {
+		return nil, err
+	}
+	if got := CampaignID(spec); got != id {
+		return nil, fmt.Errorf("fleet: checkpoint %q reloads as campaign %q; refusing to resume a tampered spec", id, got)
+	}
+	return m.Start(spec)
+}
+
+// Replayed reports how many of a campaign's cells were served from
+// its journal without running (0 for unknown ids).
+func (m *Campaigns) Replayed(id string) uint64 {
+	m.mu.Lock()
+	dr, ok := m.runners[id]
+	m.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return dr.Replayed()
+}
+
+// Resumed reports how many campaigns started over a non-empty
+// journal — the campaigns_resumed gauge.
+func (m *Campaigns) Resumed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.resumed
+}
+
+// Get resolves a campaign by id.
+func (m *Campaigns) Get(id string) (*campaign.Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byID[id]
+	return c, ok
+}
+
+// List snapshots every retained campaign in start order.
+func (m *Campaigns) List() []*campaign.Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*campaign.Campaign, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// evictLocked drops the oldest finished campaigns past the bound,
+// mirroring campaign.Manager: running campaigns are never evicted.
+// An evicted campaign's checkpoint survives on disk, so its id still
+// answers through Resume. Caller holds mu.
+func (m *Campaigns) evictLocked() {
+	if m.max <= 0 || len(m.order) <= m.max {
+		return
+	}
+	excess := len(m.order) - m.max
+	keep := m.order[:0]
+	for _, c := range m.order {
+		if excess > 0 && c.Done() {
+			delete(m.byID, c.ID)
+			delete(m.runners, c.ID)
+			excess--
+			continue
+		}
+		keep = append(keep, c)
+	}
+	for i := len(keep); i < len(m.order); i++ {
+		m.order[i] = nil
+	}
+	m.order = keep
+}

@@ -1,0 +1,291 @@
+// Package fleet is the elastic coordination layer over the
+// distributed serving stack: a Coordinator that workers register with
+// and heartbeat to (the zngd -coordinator worker mode), a dynamic
+// dispatch surface over internal/remote that reassigns a dead peer's
+// cells and folds newly registered workers into campaigns already
+// running, and durable campaigns — the campaign Spec plus a per-cell
+// progress journal checkpointed into the store directory under the
+// campaign's content-addressed id, so a restarted coordinator (or a
+// brand-new one pointed at the same directory) resumes a half-finished
+// sweep by re-expanding the spec, serving journaled-done cells from
+// the store and dispatching only the remainder.
+//
+// Determinism is preserved end to end: simulations are pure functions
+// of their content-addressed cells, so a campaign that rode out worker
+// churn, coordinator restarts and store-served resumption folds the
+// byte-identical matrix a single uninterrupted local run produces.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/platform"
+	"zng/internal/remote"
+	"zng/internal/store"
+	"zng/internal/workload"
+)
+
+// DefaultTTL is how long a registered worker may go without a
+// heartbeat before the coordinator declares it dead, removes it from
+// dispatch, and lets its in-flight cells reassign to surviving peers.
+const DefaultTTL = 15 * time.Second
+
+// ErrUnknownPeer is returned by Heartbeat for an id the coordinator
+// does not know — expired, never registered, or registered with an
+// earlier coordinator process. The worker's move is to re-register
+// (the Agent does this automatically), which re-joins it to any
+// campaign still running.
+var ErrUnknownPeer = errors.New("fleet: unknown peer")
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Local runs cells when no worker is live (and when every live
+	// worker faults on a cell) — typically the zngd process's own
+	// simsvc service, so a coordinator with zero workers degrades to
+	// exactly the single-process behavior. Required.
+	Local campaign.Runner
+	// Store backs campaign checkpoints (under <dir>/campaigns/) and
+	// serves journaled-done cells on resume. nil disables durability:
+	// campaigns still run under content-addressed ids, they just do not
+	// survive the process.
+	Store *store.Store
+	// TTL is the heartbeat expiry window (0 = DefaultTTL).
+	TTL time.Duration
+	// Cooldown is how long a faulted peer sits out of dispatch
+	// (0 = remote.DefaultCooldown).
+	Cooldown time.Duration
+	// Timeout overrides the per-request timeout of every peer client
+	// (0 = remote.DefaultTimeout).
+	Timeout time.Duration
+	// Workers bounds a campaign's concurrently in-flight cells
+	// (0 = NumCPU).
+	Workers int
+	// Base is the configuration campaign overrides perturb.
+	Base config.Config
+}
+
+// Peer is one registered worker's externally visible state.
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Load is the backlog the worker last heartbeat (queued + running
+	// jobs on its service).
+	Load int `json:"load"`
+	// AgeMS is how long ago the last heartbeat (or registration)
+	// arrived, in milliseconds.
+	AgeMS int64 `json:"age_ms"`
+}
+
+// Gauges is the fleet block of /metrics.
+type Gauges struct {
+	// PeersLive is the currently registered, un-expired worker count.
+	PeersLive int `json:"peers_live"`
+	// PeersDead counts heartbeat expiries since the coordinator
+	// started (cumulative; a worker that expires and re-registers
+	// counts once per expiry).
+	PeersDead uint64 `json:"peers_dead"`
+	// CellsReassigned counts cells that faulted on one peer and went
+	// back to dispatch for another.
+	CellsReassigned uint64 `json:"cells_reassigned"`
+	// CampaignsResumed counts campaigns started over a non-empty
+	// journal — sweeps that skipped already-done cells.
+	CampaignsResumed uint64 `json:"campaigns_resumed"`
+}
+
+// peerState is one registered worker.
+type peerState struct {
+	id       string
+	addr     string // normalized base URL (remote.Client.Addr form)
+	load     int
+	lastBeat time.Time
+}
+
+// Coordinator owns the fleet: worker registration and heartbeats on
+// one side, campaign dispatch over the live membership on the other.
+// It implements campaign.Runner — one cell at a time, dispatched to
+// the least-loaded live peer, falling back to the Local runner when
+// the fleet is empty or every peer faults — so the durable campaign
+// layer (campaigns.go) and any other matrix driver fan out over the
+// fleet without knowing it. Safe for concurrent use.
+type Coordinator struct {
+	local campaign.Runner
+	disp  *remote.Dispatcher
+	st    *store.Store
+	ttl   time.Duration
+	camps *Campaigns
+
+	mu     sync.Mutex
+	peers  map[string]*peerState // guarded by mu; peer id -> state
+	byAddr map[string]string     // guarded by mu; normalized addr -> peer id
+	nextID uint64                // guarded by mu
+	dead   uint64                // guarded by mu; cumulative heartbeat expiries
+}
+
+// New builds a coordinator. See Config for the knobs; only Local is
+// required.
+func New(cfg Config) *Coordinator {
+	if cfg.Local == nil {
+		panic("fleet: coordinator needs a local runner")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	disp := remote.NewDynamic(cfg.Cooldown)
+	if cfg.Timeout > 0 {
+		disp.SetTimeout(cfg.Timeout)
+	}
+	c := &Coordinator{
+		local:  cfg.Local,
+		disp:   disp,
+		st:     cfg.Store,
+		ttl:    cfg.TTL,
+		peers:  map[string]*peerState{},
+		byAddr: map[string]string{},
+	}
+	c.camps = newCampaigns(c, cfg)
+	return c
+}
+
+// TTL reports the heartbeat expiry window (the interval hint the
+// register reply carries is derived from it).
+func (c *Coordinator) TTL() time.Duration { return c.ttl }
+
+// Campaigns is the coordinator's durable campaign manager — the
+// drop-in replacement for campaign.Manager behind the zngd API.
+func (c *Coordinator) Campaigns() *Campaigns { return c.camps }
+
+// Register joins a worker to the fleet under a fresh id and returns
+// its peer record. Re-registering an address that is already live
+// replaces the old registration (the old id expires immediately) —
+// the restarted-worker case — and either way the worker starts
+// receiving cells of campaigns already running on the next dispatch.
+func (c *Coordinator) Register(addr string) (Peer, error) {
+	if addr == "" {
+		return Peer{}, errors.New("fleet: register needs an address")
+	}
+	norm := remote.NewClient(addr).Addr()
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if old, ok := c.byAddr[norm]; ok {
+		// Same address, new registration: the worker restarted (or its
+		// agent re-registered after a missed heartbeat). Retire the old
+		// identity without counting it dead — the worker is right here.
+		delete(c.peers, old)
+	}
+	c.nextID++
+	p := &peerState{
+		id:       fmt.Sprintf("p-%d", c.nextID),
+		addr:     norm,
+		lastBeat: now,
+	}
+	c.peers[p.id] = p
+	c.byAddr[norm] = p.id
+	c.disp.AddPeer(norm)
+	return peerInfo(p, now), nil
+}
+
+// Heartbeat refreshes a worker's liveness and load. An unknown id
+// (expired or from a previous coordinator process) fails with
+// ErrUnknownPeer; the worker re-registers.
+func (c *Coordinator) Heartbeat(id string, load int) error {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	p, ok := c.peers[id]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrUnknownPeer, id)
+	}
+	p.lastBeat = now
+	p.load = load
+	return nil
+}
+
+// expireLocked retires every peer whose last heartbeat is older than
+// the TTL: it leaves the fleet's dispatch rotation, its in-flight
+// cells fault on their next round trip and reassign, and the
+// cumulative dead counter grows. Expiry is lazy — evaluated on every
+// registration, heartbeat, dispatch and snapshot — so the coordinator
+// needs no timer goroutine. Caller holds mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, p := range c.peers {
+		if now.Sub(p.lastBeat) <= c.ttl {
+			continue
+		}
+		delete(c.peers, id)
+		if c.byAddr[p.addr] == id {
+			delete(c.byAddr, p.addr)
+			c.disp.RemovePeer(p.addr)
+		}
+		c.dead++
+	}
+}
+
+// Peers snapshots the live fleet, registration order not guaranteed
+// (callers sort for display).
+func (c *Coordinator) Peers() []Peer {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	out := make([]Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, peerInfo(p, now))
+	}
+	return out
+}
+
+func peerInfo(p *peerState, now time.Time) Peer {
+	return Peer{ID: p.id, Addr: p.addr, Load: p.load, AgeMS: now.Sub(p.lastBeat).Milliseconds()}
+}
+
+// Gauges snapshots the fleet metrics block.
+func (c *Coordinator) Gauges() Gauges {
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	live := len(c.peers)
+	dead := c.dead
+	c.mu.Unlock()
+	return Gauges{
+		PeersLive:        live,
+		PeersDead:        dead,
+		CellsReassigned:  c.disp.Reassigned(),
+		CampaignsResumed: c.camps.Resumed(),
+	}
+}
+
+// Run implements campaign.Runner over the fleet: dispatch the cell to
+// the live membership, fall back to the Local runner when the fleet
+// is empty or every peer faulted on the cell. A deterministic
+// simulation error from a peer is returned as-is — every worker (and
+// the local runner) would compute the identical failure.
+func (c *Coordinator) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	live := len(c.peers)
+	c.mu.Unlock()
+	if live == 0 {
+		return c.local.Run(kind, mix, scale, cfg)
+	}
+	res, err := c.disp.Run(kind, mix, scale, cfg)
+	if err == nil {
+		return res, nil
+	}
+	var pe *remote.PeerError
+	if errors.Is(err, remote.ErrNoPeers) || errors.As(err, &pe) {
+		// Every peer faulted (or the fleet emptied under us): the cell
+		// is nobody's deterministic failure, so run it locally rather
+		// than failing the campaign over transport weather.
+		return c.local.Run(kind, mix, scale, cfg)
+	}
+	return res, err
+}

@@ -1,0 +1,282 @@
+// Fault-path integration tests: real zngd handlers as fleet workers
+// (the same simsvc.NewHandler the daemon serves), a coordinator
+// dispatching campaigns over them, and the failure modes the fleet
+// exists to ride out — a worker killed mid-cell, a coordinator
+// restarting mid-campaign, heartbeat expiry and rejoin. External test
+// package because simsvc imports fleet.
+package fleet_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/fleet"
+	"zng/internal/platform"
+	"zng/internal/report"
+	"zng/internal/simsvc"
+	"zng/internal/store"
+	"zng/internal/workload"
+)
+
+// runnerFunc adapts a function to campaign.Runner.
+type runnerFunc func(platform.Kind, workload.Mix, float64, config.Config) (platform.Result, error)
+
+func (f runnerFunc) Run(k platform.Kind, m workload.Mix, s float64, c config.Config) (platform.Result, error) {
+	return f(k, m, s, c)
+}
+
+// detSim is the deterministic cell function every runner in these
+// tests shares, so any mix of peers, local fallback and store replay
+// must fold the byte-identical matrix.
+func detSim(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return platform.Result{
+		Kind:     kind,
+		Workload: mix.Name,
+		IPC:      float64(kind)*10 + scale*float64(len(mix.ID())),
+		Cycles:   1000,
+		Insts:    500,
+	}, nil
+}
+
+// newWorker boots a zngd worker: a real simsvc handler over sim.
+func newWorker(t testing.TB, sim simsvc.SimFunc) (*httptest.Server, *simsvc.Service) {
+	t.Helper()
+	svc := simsvc.New(simsvc.Config{Workers: 2, Simulate: sim})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(simsvc.NewHandler(svc, config.Default()))
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func integrationSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:      "fleet-faults",
+		Platforms: []string{"ZnG", "HybridGPU"},
+		Scenarios: []string{"betw-back", "solo-bfs1"},
+		Scales:    []float64{0.5, 1},
+	}
+}
+
+// referenceTable folds spec on a plain local executor — the matrix
+// every fleet execution must reproduce byte-for-byte.
+func referenceTable(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	exec := campaign.Executor{Runner: runnerFunc(detSim), Workers: 2}
+	run, err := exec.Start(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run.Wait()
+	if out.Err() != nil {
+		t.Fatal(out.Err())
+	}
+	return report.JSON(out.Table())
+}
+
+// waitFor polls cond to true within a deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// A worker that wedges and has its connections torn down mid-cell (the
+// kill -9 shape: in-flight requests die, nothing deregisters) must not
+// fail the campaign: the dispatcher faults the peer, the cell
+// reassigns, and the folded matrix is byte-identical to an
+// uninterrupted local run.
+func TestWorkerKilledMidCell(t *testing.T) {
+	gate := make(chan struct{})
+	hit := make(chan struct{}, 16)
+	// victim accepts cells and never answers them — a wedged process.
+	victim, _ := newWorker(t, func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+		select {
+		case hit <- struct{}{}:
+		default:
+		}
+		<-gate
+		return detSim(kind, mix, scale, cfg)
+	})
+	t.Cleanup(func() { close(gate) }) // unwedge so Close can drain
+	healthy, _ := newWorker(t, detSim)
+
+	fc := fleet.New(fleet.Config{
+		Local:    runnerFunc(detSim),
+		Workers:  2,
+		Base:     config.Default(),
+		Timeout:  500 * time.Millisecond,
+		Cooldown: time.Minute, // once faulted, the victim stays benched
+	})
+	if _, err := fc.Register(victim.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Register(healthy.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := fc.Campaigns().Start(integrationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The moment the victim has a cell in flight, kill it: tear down
+	// its connections and its listener, the way kill -9 leaves a
+	// worker (its job never finishes, its port stops answering — the
+	// dispatcher's next poll faults and the cell reassigns). The
+	// wedged simulation goroutine drains at cleanup via gate.
+	waitFor(t, "victim to receive a cell", func() bool {
+		select {
+		case <-hit:
+			return true
+		default:
+			return false
+		}
+	})
+	victim.CloseClientConnections()
+	victim.Close()
+
+	out := c.Wait()
+	if out.Err() != nil {
+		t.Fatal(out.Err())
+	}
+	if got, want := report.JSON(out.Table()), referenceTable(t, integrationSpec()); !bytes.Equal(got, want) {
+		t.Fatalf("matrix after worker kill differs from reference:\n%s\nvs\n%s", got, want)
+	}
+	if g := fc.Gauges(); g.CellsReassigned == 0 {
+		t.Fatalf("cells_reassigned = 0, want > 0 after killing a worker mid-cell (%+v)", g)
+	}
+}
+
+// A coordinator that dies mid-campaign leaves a spec plus a partial
+// journal in the store. A fresh coordinator over the same directory
+// resumes by id: journaled cells replay from the store with zero
+// re-simulation, only the remainder runs, and the matrix is
+// byte-identical to an uninterrupted run.
+func TestCoordinatorRestartMidCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := campaign.Spec{
+		Name:      "restart",
+		Platforms: []string{"ZnG"},
+		Scenarios: []string{"betw-back", "solo-gaus"},
+		Scales:    []float64{0.5, 1},
+	}
+
+	// Coordinator 1: solo-gaus cells wedge forever — the campaign can
+	// never finish in this process, only its betw-back half journals.
+	gate := make(chan struct{})
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := simsvc.New(simsvc.Config{Workers: 2, Store: st1,
+		Simulate: func(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+			if mix.Name == "solo-gaus" {
+				<-gate
+			}
+			return detSim(kind, mix, scale, cfg)
+		}})
+	t.Cleanup(svc1.Close)
+	fc1 := fleet.New(fleet.Config{Local: svc1, Store: st1, Workers: 2, Base: config.Default()})
+	c1, err := fc1.Campaigns().Start(spec)
+	if err != nil {
+		close(gate)
+		t.Fatal(err)
+	}
+	// Unblock the wedged cells and let campaign 1 finish journaling
+	// before TempDir removal, or its late writes race the cleanup.
+	t.Cleanup(func() { close(gate); c1.Wait() })
+	id := c1.ID
+	cellsDir := filepath.Join(dir, "campaigns", id, "cells")
+	waitFor(t, "half the campaign to journal", func() bool {
+		ents, err := os.ReadDir(cellsDir)
+		return err == nil && len(ents) >= 2
+	})
+	// Coordinator 1 is now "dead": we simply stop looking at it. Its
+	// two wedged cells stay in flight and never journal until cleanup.
+
+	// Coordinator 2: fresh process, same store directory, healthy sim.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc2 := simsvc.New(simsvc.Config{Workers: 2, Store: st2, Simulate: detSim})
+	t.Cleanup(svc2.Close)
+	fc2 := fleet.New(fleet.Config{Local: svc2, Store: st2, Workers: 2, Base: config.Default()})
+	c2, err := fc2.Campaigns().Resume(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c2.Wait()
+	if out.Err() != nil {
+		t.Fatal(out.Err())
+	}
+	if got := svc2.Stats().Sims; got != 2 {
+		t.Fatalf("resume ran %d simulations, want exactly the 2 un-journaled cells", got)
+	}
+	if got := fc2.Campaigns().Replayed(id); got != 2 {
+		t.Fatalf("replayed = %d, want 2 journaled cells served from the store", got)
+	}
+	if g := fc2.Gauges(); g.CampaignsResumed != 1 {
+		t.Fatalf("campaigns_resumed = %d, want 1", g.CampaignsResumed)
+	}
+
+	// Byte-identical to a never-interrupted run of the same spec.
+	exec := campaign.Executor{Runner: runnerFunc(detSim), Workers: 2}
+	ref, err := exec.Start(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := ref.Wait()
+	if refOut.Err() != nil {
+		t.Fatal(refOut.Err())
+	}
+	if got, want := report.JSON(out.Table()), report.JSON(refOut.Table()); !bytes.Equal(got, want) {
+		t.Fatalf("resumed matrix differs from uninterrupted reference:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// The agent end to end against the real API: register, heartbeat with
+// live load, expire when stopped, rejoin under a fresh id when a new
+// agent starts — churn the roster and the coordinator tracks it.
+func TestAgentExpiryAndRejoin(t *testing.T) {
+	svc := simsvc.New(simsvc.Config{Workers: 1, Simulate: detSim})
+	t.Cleanup(svc.Close)
+	fc := fleet.New(fleet.Config{Local: svc, Workers: 1, Base: config.Default(), TTL: 150 * time.Millisecond})
+	srv := httptest.NewServer(simsvc.NewHandler(svc, config.Default(), simsvc.WithFleet(fc)))
+	t.Cleanup(srv.Close)
+
+	a1 := fleet.StartAgent(srv.URL, "127.0.0.1:7001", func() int { return 5 })
+	var firstID string
+	waitFor(t, "agent to register and heartbeat its load", func() bool {
+		for _, p := range fc.Peers() {
+			if p.Load == 5 {
+				firstID = p.ID
+				return true
+			}
+		}
+		return false
+	})
+	a1.Stop()
+	waitFor(t, "stopped agent to expire", func() bool { return len(fc.Peers()) == 0 })
+	if g := fc.Gauges(); g.PeersDead == 0 {
+		t.Fatalf("peers_dead = 0, want > 0 after expiry (%+v)", g)
+	}
+
+	a2 := fleet.StartAgent(srv.URL, "127.0.0.1:7001", nil)
+	defer a2.Stop()
+	waitFor(t, "replacement agent to rejoin", func() bool { return len(fc.Peers()) == 1 })
+	if got := fc.Peers()[0].ID; got == firstID {
+		t.Fatalf("rejoined peer kept expired id %q, want a fresh identity", got)
+	}
+}

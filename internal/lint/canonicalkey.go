@@ -21,14 +21,19 @@ type CanonicalKeyConfig struct {
 }
 
 // DefaultCanonicalKey returns the canonical-key analyzer bound to the
-// two byte-canonical encoders of this repository: the cell-key hasher
+// byte-canonical encoders of this repository: the cell-key hasher
 // every store entry, coalescing decision and campaign dedupe rides
-// on, and the result codec whose bytes the store persists.
+// on, the result codec whose bytes the store persists, and the fleet
+// checkpoint encoders — the campaign-id hasher (a resumed campaign
+// must derive the same id from the same spec on every machine) and
+// the journal-entry codec the checkpoint files persist.
 func DefaultCanonicalKey() *Analyzer {
 	return NewCanonicalKey(CanonicalKeyConfig{
 		Sinks: []Sink{
 			{PkgSuffix: "internal/cellkey", Func: "Key"},
 			{PkgSuffix: "internal/report", Func: "EncodeResult"},
+			{PkgSuffix: "internal/fleet", Func: "CampaignID"},
+			{PkgSuffix: "internal/fleet", Func: "encodeJournalEntry"},
 		},
 	})
 }

@@ -11,6 +11,13 @@ import (
 	"zng/internal/workload"
 )
 
+// ErrNoPeers is returned by Run when the dispatcher has no peers at
+// all — the empty-fleet state a dynamic dispatcher (NewDynamic) may
+// pass through while workers register and expire. Callers with a
+// local execution path (the fleet coordinator) treat it as "run the
+// cell yourself".
+var ErrNoPeers = errors.New("remote: dispatcher has no peers")
+
 // Dispatcher shards simulation cells across a fleet of zngd peers.
 // It implements the same Runner interface as a single Client, so a
 // campaign Executor (or any figure driver) fans out over the fleet
@@ -21,13 +28,19 @@ import (
 // re-routes the cell to another peer while the faulty one sits out a
 // cooldown. Deterministic simulation errors reported by a peer are
 // returned as-is: every worker would compute the same failure.
+//
+// Membership is dynamic: AddPeer and RemovePeer grow and shrink the
+// fleet under running campaigns (the fleet coordinator wires them to
+// worker registration and heartbeat expiry), and cells in flight on
+// a removed peer fault on their next round trip and re-route to a
+// surviving one — counted by Reassigned.
 type Dispatcher struct {
 	cooldown time.Duration
+	timeout  time.Duration // applied to peers added later, too
 
 	mu sync.Mutex
-	// peers is fixed at construction (the slice itself is never
-	// resized or reassigned); the mutable scheduling state lives in
-	// the peer structs, whose fields mu protects.
+	// peers is the current membership, in registration order.
+	// guarded by mu.
 	peers []*peer
 	// rr rotates the scan origin so equal-inflight ties round-robin
 	// across the fleet instead of always landing on the first peer —
@@ -35,6 +48,10 @@ type Dispatcher struct {
 	// before the next dispatch) would starve every peer but peers[0].
 	// guarded by mu.
 	rr int
+	// reassigned counts peer-level faults whose cell went back to the
+	// scheduling loop for another peer — the fleet's "cells
+	// reassigned" gauge. guarded by mu.
+	reassigned uint64
 }
 
 // peer is one worker plus its scheduling state. The scheduling
@@ -71,20 +88,85 @@ func NewDispatcher(addrs []string, cooldown time.Duration) (*Dispatcher, error) 
 	if len(addrs) == 0 {
 		return nil, errors.New("remote: dispatcher needs at least one peer")
 	}
-	if cooldown <= 0 {
-		cooldown = DefaultCooldown
-	}
-	d := &Dispatcher{cooldown: cooldown}
+	d := NewDynamic(cooldown)
 	for _, a := range addrs {
-		d.peers = append(d.peers, &peer{client: NewClient(a)})
+		d.AddPeer(a)
 	}
 	return d, nil
 }
 
-// SetTimeout overrides every peer client's per-request timeout.
+// NewDynamic builds an empty dispatcher whose membership grows and
+// shrinks at runtime (AddPeer/RemovePeer). With no peers, Run fails
+// fast with ErrNoPeers. cooldown <= 0 uses DefaultCooldown.
+func NewDynamic(cooldown time.Duration) *Dispatcher {
+	if cooldown <= 0 {
+		cooldown = DefaultCooldown
+	}
+	return &Dispatcher{cooldown: cooldown}
+}
+
+// AddPeer joins a peer to the fleet (idempotent: re-adding an address
+// already present only clears its failure cooldown, so a re-registered
+// worker is offered work immediately). Cells of campaigns already
+// running dispatch to it on their next pick.
+func (d *Dispatcher) AddPeer(addr string) {
+	c := NewClient(addr)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.peers {
+		if p.client.Addr() == c.Addr() {
+			p.downTil = time.Time{}
+			return
+		}
+	}
+	if d.timeout > 0 {
+		c.SetTimeout(d.timeout)
+	}
+	d.peers = append(d.peers, &peer{client: c})
+}
+
+// RemovePeer drops a peer from the fleet (by the same address form
+// AddPeer accepted). Cells already in flight on it are not aborted:
+// they fault on their own next round trip and the scheduling loop
+// reassigns them to surviving peers.
+func (d *Dispatcher) RemovePeer(addr string) {
+	want := NewClient(addr).Addr()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keep := d.peers[:0]
+	for _, p := range d.peers {
+		if p.client.Addr() == want {
+			continue
+		}
+		keep = append(keep, p)
+	}
+	for i := len(keep); i < len(d.peers); i++ {
+		d.peers[i] = nil
+	}
+	d.peers = keep
+}
+
+// NumPeers reports the current fleet size.
+func (d *Dispatcher) NumPeers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.peers)
+}
+
+// Reassigned reports how many peer-level faults sent a cell back for
+// another peer — the fleet's rebalancing gauge.
+func (d *Dispatcher) Reassigned() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reassigned
+}
+
+// SetTimeout overrides every peer client's per-request timeout,
+// including peers added later.
 func (d *Dispatcher) SetTimeout(t time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.timeout = t
 	for _, p := range d.peers {
 		p.client.SetTimeout(t)
 	}
@@ -123,6 +205,9 @@ func (d *Dispatcher) pick(tried map[*peer]bool) *peer {
 	defer d.mu.Unlock()
 	now := time.Now()
 	n := len(d.peers)
+	if n == 0 {
+		return nil
+	}
 	start := d.rr % n
 	d.rr++
 	var best *peer
@@ -150,14 +235,18 @@ func (d *Dispatcher) pick(tried map[*peer]bool) *peer {
 // least-loaded order until one answers, marking each peer-level
 // failure down for the cooldown. The cell fails only when every peer
 // has faulted on it (the joined error names them all) or a peer
-// reports a deterministic simulation error.
+// reports a deterministic simulation error. An empty fleet fails
+// fast with ErrNoPeers.
 func (d *Dispatcher) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
 	tried := map[*peer]bool{}
 	var faults []error
 	for {
 		p := d.pick(tried)
 		if p == nil {
-			return platform.Result{}, fmt.Errorf("remote: all %d peers failed: %w", len(d.peers), errors.Join(faults...))
+			if len(faults) == 0 {
+				return platform.Result{}, ErrNoPeers
+			}
+			return platform.Result{}, fmt.Errorf("remote: all %d peers failed: %w", len(faults), errors.Join(faults...))
 		}
 		tried[p] = true
 		res, err := p.client.Run(kind, mix, scale, cfg)
@@ -172,6 +261,9 @@ func (d *Dispatcher) Run(kind platform.Kind, mix workload.Mix, scale float64, cf
 		case errors.As(err, &pe):
 			p.failures++
 			p.downTil = time.Now().Add(d.cooldown)
+			// The cell goes back to the scheduling loop for another
+			// peer — the fleet-level rebalancing event.
+			d.reassigned++
 			d.mu.Unlock()
 			faults = append(faults, err)
 		default:

@@ -16,6 +16,7 @@ package report
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"strings"
 
 	"zng/internal/stats"
@@ -119,6 +120,27 @@ func JSON(t *stats.Table) []byte {
 		panic(err)
 	}
 	return append(out, '\n')
+}
+
+// DecodeTable parses a document JSON produced back into a table — the
+// client half of the campaign API, so zngsweep renders a
+// coordinator-folded matrix through the same emitters a local run
+// uses. Cells are already-formatted strings (AddRow passes strings
+// through verbatim), so JSON(DecodeTable(JSON(t))) is byte-identical.
+func DecodeTable(b []byte) (*stats.Table, error) {
+	var doc tableJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("report: decoding table: %w", err)
+	}
+	t := stats.NewTable(doc.Title, doc.Header...)
+	for _, row := range doc.Rows {
+		cells := make([]any, len(row))
+		for i, c := range row {
+			cells[i] = c
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
 }
 
 // JSONAll renders several tables as one JSON array, so multi-figure

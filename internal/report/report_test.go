@@ -129,6 +129,20 @@ func TestJSONAllIsOneDocument(t *testing.T) {
 	}
 }
 
+func TestDecodeTableRoundTrip(t *testing.T) {
+	first := JSON(sampleTable())
+	decoded, err := DecodeTable(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := JSON(decoded); !bytes.Equal(first, got) {
+		t.Fatalf("JSON(DecodeTable(JSON(t))) not byte-identical:\n%s\nvs\n%s", first, got)
+	}
+	if _, err := DecodeTable([]byte("not json")); err == nil {
+		t.Fatal("DecodeTable accepted garbage")
+	}
+}
+
 func TestJSONShape(t *testing.T) {
 	out := string(JSON(sampleTable()))
 	for _, want := range []string{`"title"`, `"header"`, `"rows"`, `"pipe|cell"`} {

@@ -45,7 +45,7 @@ func BenchmarkTieredLookup(b *testing.B) {
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, tier := tiered.Get(keys[i%cells])
+			res, _, tier := tiered.Get(keys[i%cells])
 			if tier != TierMemory || res.IPC != r.IPC {
 				b.Fatal("memory tier missed")
 			}
@@ -68,7 +68,7 @@ func BenchmarkTieredLookup(b *testing.B) {
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, tier := tiered.Get(keys[i%cells])
+			res, _, tier := tiered.Get(keys[i%cells])
 			if tier != TierDisk || res.IPC != r.IPC {
 				b.Fatal("disk tier missed")
 			}
@@ -91,7 +91,7 @@ func BenchmarkCacheChurn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := keys[i%keySpace]
-		if _, ok := c.Get(k); !ok {
+		if _, _, ok := c.Get(k); !ok {
 			c.Put(k, r)
 		}
 	}

@@ -24,24 +24,45 @@ import (
 )
 
 // CacheStats counts how the memory tier behaved. Counters only grow;
-// Entries/Capacity are gauges.
+// Entries/Capacity/Negatives are gauges.
 type CacheStats struct {
-	// Hits counts Gets answered from memory.
+	// Hits counts Gets answered from memory (positive or negative).
 	Hits uint64
 	// Misses counts Gets the memory tier could not answer.
 	Misses uint64
 	// Evictions counts entries dropped to make room at capacity.
 	Evictions uint64
-	// Entries is the current resident entry count (≤ Capacity).
+	// Entries is the current resident entry count (≤ Capacity),
+	// negative entries included.
 	Entries int
+	// Negatives is the resident negative-entry count (≤ Entries).
+	Negatives int
 	// Capacity is the configured bound.
 	Capacity int
 }
 
-// entry is one resident cell, a node of the intrusive LRU list.
+// Negative is a cached deterministic simulation failure. A simulation
+// is a pure function of its cell, so a cell that failed once fails
+// identically forever (apps exceeding SMs, a degenerate
+// configuration): re-simulating it on every request only burns a
+// worker. The tier caches the failure as a typed entry whose message
+// is exactly the original error text, so repeat requests are served
+// from memory and callers can still tell a cached failure from a
+// fresh one with errors.As.
+type Negative struct {
+	// Msg is the original error's text, replayed verbatim.
+	Msg string
+}
+
+func (e *Negative) Error() string { return e.Msg }
+
+// entry is one resident cell, a node of the intrusive LRU list. err
+// is nil for result entries and a *Negative for cached failures
+// (whose res is the zero Result).
 type entry struct {
 	key        string
 	res        platform.Result
+	err        error
 	prev, next *entry
 }
 
@@ -59,6 +80,7 @@ type Cache struct {
 	hits       uint64 // guarded by mu
 	misses     uint64 // guarded by mu
 	evictions  uint64 // guarded by mu
+	negatives  int    // guarded by mu
 }
 
 // NewCache returns an LRU bounded to capacity entries. Capacity must
@@ -73,26 +95,49 @@ func NewCache(capacity int) *Cache {
 }
 
 // Get returns the entry for key and promotes it to most-recently-used.
-func (c *Cache) Get(key string) (platform.Result, bool) {
+// A cached failure comes back as a non-nil *Negative error with ok
+// true; the zero Result with ok false is a miss.
+func (c *Cache) Get(key string) (platform.Result, error, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return platform.Result{}, false
+		return platform.Result{}, nil, false
 	}
 	c.hits++
 	c.moveToFrontLocked(e)
-	return e.res, true
+	return e.res, e.err, true
 }
 
 // Put inserts (or refreshes) the entry for key as most-recently-used,
-// evicting the least-recently-used entry if the cache is full.
+// evicting the least-recently-used entry if the cache is full. A Put
+// over a negative entry converts it to a result entry.
 func (c *Cache) Put(key string, res platform.Result) {
+	c.put(key, res, nil)
+}
+
+// PutNegative caches a deterministic failure for key: later Gets for
+// the same cell replay the error without simulating. Negative entries
+// live only in the memory tier — they obey the same LRU bound and
+// eviction as result entries, and never reach the disk store.
+func (c *Cache) PutNegative(key, msg string) {
+	c.put(key, platform.Result{}, &Negative{Msg: msg})
+}
+
+// put is the shared insert path behind Put and PutNegative.
+func (c *Cache) put(key string, res platform.Result, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
-		e.res = res
+		if (e.err != nil) != (err != nil) {
+			if err != nil {
+				c.negatives++
+			} else {
+				c.negatives--
+			}
+		}
+		e.res, e.err = res, err
 		c.moveToFrontLocked(e)
 		return
 	}
@@ -100,11 +145,17 @@ func (c *Cache) Put(key string, res platform.Result) {
 		lru := c.tail
 		c.unlinkLocked(lru)
 		delete(c.items, lru.key)
+		if lru.err != nil {
+			c.negatives--
+		}
 		c.evictions++
 	}
-	e := &entry{key: key, res: res}
+	e := &entry{key: key, res: res, err: err}
 	c.items[key] = e
 	c.pushFrontLocked(e)
+	if err != nil {
+		c.negatives++
+	}
 }
 
 // Len reports the resident entry count.
@@ -123,6 +174,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Entries:   len(c.items),
+		Negatives: c.negatives,
 		Capacity:  c.cap,
 	}
 }
@@ -220,28 +272,31 @@ func NewTiered(capacity int, st *store.Store) *Tiered {
 
 // Get resolves key memory-first, then disk. A disk hit is promoted
 // into the memory tier so the next lookup stays off the disk. The
-// returned Tier says which layer answered (TierNone on a full miss).
-func (t *Tiered) Get(key string) (platform.Result, Tier) {
-	if r, ok := t.GetMem(key); ok {
-		return r, TierMemory
+// returned Tier says which layer answered (TierNone on a full miss);
+// a memory hit may carry a cached failure as a non-nil *Negative
+// error (only the memory tier holds negatives — the disk store keeps
+// results exclusively).
+func (t *Tiered) Get(key string) (platform.Result, error, Tier) {
+	if r, err, ok := t.GetMem(key); ok {
+		return r, err, TierMemory
 	}
 	if t.st != nil {
 		if r, ok := t.st.Get(key); ok {
 			if t.cache != nil {
 				t.cache.Put(key, r)
 			}
-			return r, TierDisk
+			return r, nil, TierDisk
 		}
 	}
-	return platform.Result{}, TierNone
+	return platform.Result{}, nil, TierNone
 }
 
 // GetMem consults only the memory tier — the non-blocking lookup the
 // admission path uses (a disk read must never run under the service
 // lock).
-func (t *Tiered) GetMem(key string) (platform.Result, bool) {
+func (t *Tiered) GetMem(key string) (platform.Result, error, bool) {
 	if t.cache == nil {
-		return platform.Result{}, false
+		return platform.Result{}, nil, false
 	}
 	return t.cache.Get(key)
 }
@@ -259,6 +314,17 @@ func (t *Tiered) Put(key string, res platform.Result) bool {
 		t.cache.Put(key, res)
 	}
 	return persisted
+}
+
+// PutNegative caches a deterministic failure in the memory tier (a
+// no-op without one). Negatives never reach the disk store: an error
+// string is cheap to recompute relative to a simulation and must not
+// pollute the content-addressed result layout, so a restart simply
+// rediscovers the failure once.
+func (t *Tiered) PutNegative(key, msg string) {
+	if t.cache != nil {
+		t.cache.PutNegative(key, msg)
+	}
 }
 
 // Store exposes the disk tier (nil when memory-only).

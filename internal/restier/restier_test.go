@@ -1,6 +1,7 @@
 package restier
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -98,7 +99,7 @@ func TestLRUTable(t *testing.T) {
 				case "put":
 					c.Put(o.key, res(float64(i+1)))
 				case "get":
-					if _, ok := c.Get(o.key); ok != o.hit {
+					if _, _, ok := c.Get(o.key); ok != o.hit {
 						t.Fatalf("op %d: Get(%q) hit = %v, want %v", i, o.key, ok, o.hit)
 					}
 				}
@@ -131,7 +132,7 @@ func TestLRUValuesSurviveIntact(t *testing.T) {
 	c.Put("b", res(2))
 	c.Put("c", res(3)) // nothing forces a's value to change
 	c.Put("a", a)      // may re-insert after eviction; value must match
-	got, ok := c.Get("a")
+	got, _, ok := c.Get("a")
 	if !ok {
 		t.Fatal("a not resident")
 	}
@@ -185,7 +186,7 @@ func TestCacheChurnRace(t *testing.T) {
 					continue
 				}
 				gets++
-				if r, ok := c.Get(key); ok && r.IPC != want {
+				if r, _, ok := c.Get(key); ok && r.IPC != want {
 					errs <- fmt.Sprintf("Get(%q) = IPC %v, want %v (value crossed keys)", key, r.IPC, want)
 					return
 				}
@@ -229,17 +230,17 @@ func TestTieredResolution(t *testing.T) {
 	}
 	tiered := NewTiered(4, st)
 
-	if _, tier := tiered.Get("cold"); tier != TierNone {
+	if _, _, tier := tiered.Get("cold"); tier != TierNone {
 		t.Fatalf("cold key resolved from %v", tier)
 	}
 	if err := st.Put("warm", res(3)); err != nil {
 		t.Fatal(err)
 	}
-	r, tier := tiered.Get("warm")
+	r, _, tier := tiered.Get("warm")
 	if tier != TierDisk || r.IPC != 3 {
 		t.Fatalf("stored key = %v from %v, want IPC 3 from disk", r.IPC, tier)
 	}
-	r, tier = tiered.Get("warm")
+	r, _, tier = tiered.Get("warm")
 	if tier != TierMemory || r.IPC != 3 {
 		t.Fatalf("second lookup = %v from %v, want IPC 3 from memory (read-through promotion)", r.IPC, tier)
 	}
@@ -255,7 +256,7 @@ func TestTieredResolution(t *testing.T) {
 	if _, ok := st.Get("fresh"); !ok {
 		t.Error("Put did not reach the disk tier")
 	}
-	if r, tier := tiered.Get("fresh"); tier != TierMemory || r.IPC != 9 {
+	if r, _, tier := tiered.Get("fresh"); tier != TierMemory || r.IPC != 9 {
 		t.Errorf("fresh = %v from %v, want memory", r.IPC, tier)
 	}
 }
@@ -268,10 +269,10 @@ func TestTieredDegradedLayers(t *testing.T) {
 	if memOnly.Put("k", res(1)) {
 		t.Error("store-less Put reported persisted")
 	}
-	if r, tier := memOnly.Get("k"); tier != TierMemory || r.IPC != 1 {
+	if r, _, tier := memOnly.Get("k"); tier != TierMemory || r.IPC != 1 {
 		t.Errorf("memory-only Get = %v from %v", r.IPC, tier)
 	}
-	if _, tier := memOnly.Get("absent"); tier != TierNone {
+	if _, _, tier := memOnly.Get("absent"); tier != TierNone {
 		t.Error("memory-only miss did not report TierNone")
 	}
 	if memOnly.Store() != nil {
@@ -287,11 +288,11 @@ func TestTieredDegradedLayers(t *testing.T) {
 		t.Fatal("disk-only Put did not persist")
 	}
 	for i := 0; i < 2; i++ {
-		if r, tier := diskOnly.Get("k"); tier != TierDisk || r.IPC != 2 {
+		if r, _, tier := diskOnly.Get("k"); tier != TierDisk || r.IPC != 2 {
 			t.Fatalf("disk-only lookup %d = %v from %v, want disk every time", i, r.IPC, tier)
 		}
 	}
-	if _, ok := diskOnly.GetMem("k"); ok {
+	if _, _, ok := diskOnly.GetMem("k"); ok {
 		t.Error("disk-only tier answered from a memory tier it does not have")
 	}
 	if cs := diskOnly.CacheStats(); cs != (CacheStats{}) {
@@ -321,8 +322,88 @@ func TestTieredPersistFailure(t *testing.T) {
 	if tiered.Put("k", res(4)) {
 		t.Fatal("Put into an unwritable store reported persisted")
 	}
-	if r, tier := tiered.Get("k"); tier != TierMemory || r.IPC != 4 {
+	if r, _, tier := tiered.Get("k"); tier != TierMemory || r.IPC != 4 {
 		t.Errorf("after failed persist: %v from %v, want memory serve", r.IPC, tier)
+	}
+}
+
+// TestNegativeCaching: a cached deterministic failure is a first-class
+// LRU entry — replayed verbatim as a typed *Negative on later Gets,
+// counted by the Negatives gauge, convertible back to a result entry
+// by a plain Put, and subject to the same eviction as everything else.
+func TestNegativeCaching(t *testing.T) {
+	c := NewCache(2)
+	c.PutNegative("bad", "zng: 99 apps exceed 64 SMs")
+
+	r, err, ok := c.Get("bad")
+	if !ok {
+		t.Fatal("negative entry not resident")
+	}
+	var neg *Negative
+	if !errors.As(err, &neg) || neg.Msg != "zng: 99 apps exceed 64 SMs" {
+		t.Fatalf("Get(bad) err = %v, want *Negative with original text", err)
+	}
+	if r.IPC != 0 || r.Workload != "" {
+		t.Errorf("negative entry carries a non-zero result: %+v", r)
+	}
+	if st := c.Stats(); st.Negatives != 1 || st.Entries != 1 || st.Hits != 1 {
+		t.Errorf("stats after negative hit = %+v, want 1 negative, 1 entry, 1 hit", st)
+	}
+
+	// A Put over the negative converts it; the gauge drops.
+	c.Put("bad", res(7))
+	if r, err, ok := c.Get("bad"); !ok || err != nil || r.IPC != 7 {
+		t.Fatalf("after convert: res %v err %v ok %v, want IPC 7, nil, true", r.IPC, err, ok)
+	}
+	if st := c.Stats(); st.Negatives != 0 {
+		t.Errorf("negatives gauge = %d after convert, want 0", st.Negatives)
+	}
+
+	// And back: PutNegative over a result entry raises it again.
+	c.PutNegative("bad", "still bad")
+	if st := c.Stats(); st.Negatives != 1 {
+		t.Errorf("negatives gauge = %d after re-negation, want 1", st.Negatives)
+	}
+
+	// Eviction of a negative entry decrements the gauge.
+	c.Put("x", res(1))
+	c.Put("y", res(2)) // capacity 2: evicts the LRU ("bad")
+	if _, _, ok := c.Get("bad"); ok {
+		t.Fatal("negative entry survived eviction pressure")
+	}
+	if st := c.Stats(); st.Negatives != 0 {
+		t.Errorf("negatives gauge = %d after eviction, want 0", st.Negatives)
+	}
+}
+
+// TestTieredNegatives: negatives live only in the memory tier — a
+// Tiered.PutNegative never reaches the disk store, a memory hit
+// carries the error, and a tier without a memory layer drops the
+// negative silently (the caller just re-simulates).
+func TestTieredNegatives(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(4, st)
+	tiered.PutNegative("bad", "boom")
+
+	r, gerr, tier := tiered.Get("bad")
+	var neg *Negative
+	if tier != TierMemory || !errors.As(gerr, &neg) || neg.Msg != "boom" {
+		t.Fatalf("Get(bad) = (%v, %v, %v), want negative from memory", r, gerr, tier)
+	}
+	if _, ok := st.Get("bad"); ok {
+		t.Error("negative entry leaked into the disk store")
+	}
+	if cs := tiered.CacheStats(); cs.Negatives != 1 {
+		t.Errorf("tier negatives gauge = %d, want 1", cs.Negatives)
+	}
+
+	diskOnly := NewTiered(0, st)
+	diskOnly.PutNegative("bad", "boom") // no memory tier: dropped
+	if _, gerr, tier := diskOnly.Get("bad"); tier != TierNone || gerr != nil {
+		t.Errorf("disk-only tier served a negative it cannot hold: %v from %v", gerr, tier)
 	}
 }
 

@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"sort"
 	"strconv"
 	"time"
 
 	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/experiments"
+	"zng/internal/fleet"
 	"zng/internal/latency"
 	"zng/internal/platform"
 	"zng/internal/report"
@@ -56,6 +59,54 @@ type scenarioInfo struct {
 	Degree int    `json:"degree"`
 }
 
+// CampaignManager is the campaign lifecycle the API drives — the
+// plain in-process campaign.Manager, or the fleet coordinator's
+// durable, content-addressed manager (fleet.Campaigns). Managers that
+// additionally implement Resume(id) unlock POST
+// /v1/campaigns/{id}/resume.
+type CampaignManager interface {
+	Start(campaign.Spec) (*campaign.Campaign, error)
+	Get(string) (*campaign.Campaign, bool)
+	List() []*campaign.Campaign
+}
+
+// campaignResumer is the optional resume surface (fleet.Campaigns).
+type campaignResumer interface {
+	Resume(string) (*campaign.Campaign, error)
+}
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerOpts)
+
+type handlerOpts struct {
+	fleet *fleet.Coordinator
+}
+
+// WithFleet attaches a fleet coordinator: campaigns run through its
+// durable, fleet-dispatched manager instead of the in-process one,
+// the /v1/fleet endpoints (register, heartbeat, status) go live, and
+// /metrics gains the fleet gauge block.
+func WithFleet(fc *fleet.Coordinator) HandlerOption {
+	return func(o *handlerOpts) { o.fleet = fc }
+}
+
+// fleetRegisterRequest is the POST /v1/fleet/register body.
+type fleetRegisterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// fleetRegisterReply mirrors the shape fleet.Agent expects.
+type fleetRegisterReply struct {
+	Peer        fleet.Peer `json:"peer"`
+	HeartbeatMS int64      `json:"heartbeat_ms"`
+}
+
+// fleetHeartbeatRequest is the POST /v1/fleet/heartbeat body.
+type fleetHeartbeatRequest struct {
+	ID   string `json:"id"`
+	Load int    `json:"load"`
+}
+
 // NewHandler builds the zngd HTTP JSON API over one service. cfg is
 // the base simulation configuration requests run under (the daemon
 // passes Table I defaults); requests choose platform, workload, scale
@@ -83,9 +134,25 @@ type scenarioInfo struct {
 // current queue depth — a well-behaved client backs off that long and
 // retries. Every endpoint's wall-clock latency feeds a fixed-bucket
 // histogram surfaced as p50/p95/p99 under "latency" in /metrics.
-func NewHandler(svc *Service, cfg config.Config) http.Handler {
+//
+// With WithFleet, the daemon is a fleet coordinator: campaigns run
+// through the coordinator's durable manager (content-addressed ids,
+// store checkpoints, POST /v1/campaigns/{id}/resume), workers join via
+// POST /v1/fleet/register + /v1/fleet/heartbeat, and GET /v1/fleet
+// reports the live roster. Without it, the fleet endpoints answer 501.
+func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Handler {
+	var ho handlerOpts
+	for _, o := range opts {
+		o(&ho)
+	}
+	fc := ho.fleet
 	mux := http.NewServeMux()
-	mgr := campaign.NewManager(svc, cfg, 0)
+	var mgr CampaignManager
+	if fc != nil {
+		mgr = fc.Campaigns()
+	} else {
+		mgr = campaign.NewManager(svc, cfg, 0)
+	}
 
 	// Per-endpoint latency histograms. The map is fully populated
 	// before NewHandler returns and read-only afterwards, so the
@@ -278,6 +345,91 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeJSON(w, http.StatusOK, detail)
 	})
 
+	timed("POST /v1/campaigns/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		resumer, ok := mgr.(campaignResumer)
+		if !ok {
+			writeErr(w, http.StatusNotImplemented,
+				errors.New("campaign resume requires a fleet coordinator (start zngd with -store and fleet enabled)"))
+			return
+		}
+		id := r.PathValue("id")
+		c, err := resumer.Resume(id)
+		if errors.Is(err, os.ErrNotExist) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no checkpoint for campaign %q", id))
+			return
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, struct {
+			Campaign campaignInfo `json:"campaign"`
+		}{campaignStatus(c)})
+	})
+
+	timed("POST /v1/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		if fc == nil {
+			writeErr(w, http.StatusNotImplemented, errors.New("this zngd is not a fleet coordinator"))
+			return
+		}
+		var req fleetRegisterRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding register request: %w", err))
+			return
+		}
+		peer, err := fc.Register(req.Addr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, fleetRegisterReply{
+			Peer:        peer,
+			HeartbeatMS: fleet.HeartbeatInterval(fc.TTL()).Milliseconds(),
+		})
+	})
+
+	timed("POST /v1/fleet/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		if fc == nil {
+			writeErr(w, http.StatusNotImplemented, errors.New("this zngd is not a fleet coordinator"))
+			return
+		}
+		var req fleetHeartbeatRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding heartbeat: %w", err))
+			return
+		}
+		if err := fc.Heartbeat(req.ID, req.Load); err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, fleet.ErrUnknownPeer) {
+				// Expired or never registered: 404 tells the agent to
+				// re-register rather than keep beating a dead id.
+				status = http.StatusNotFound
+			}
+			writeErr(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ok"})
+	})
+
+	timed("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if fc == nil {
+			writeErr(w, http.StatusNotImplemented, errors.New("this zngd is not a fleet coordinator"))
+			return
+		}
+		peers := fc.Peers()
+		sort.Slice(peers, func(i, j int) bool { return peers[i].Addr < peers[j].Addr })
+		writeJSON(w, http.StatusOK, struct {
+			Peers  []fleet.Peer `json:"peers"`
+			Gauges fleet.Gauges `json:"gauges"`
+		}{peers, fc.Gauges()})
+	})
+
 	timed("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		scenarios := workload.Scenarios()
 		out := make([]scenarioInfo, len(scenarios))
@@ -302,7 +454,7 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 	})
 
 	timed("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, metrics(svc, hists))
+		writeJSON(w, http.StatusOK, metrics(svc, fc, hists))
 	})
 
 	// Unmatched paths fall through to "/": a structured 404 instead of
@@ -314,15 +466,19 @@ func NewHandler(svc *Service, cfg config.Config) http.Handler {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
 	})
 	for pattern, allow := range map[string]string{
-		"/v1/run":            "POST",
-		"/v1/jobs":           "GET",
-		"/v1/jobs/{id}":      "GET",
-		"/v1/campaigns":      "GET, POST",
-		"/v1/campaigns/{id}": "GET",
-		"/v1/scenarios":      "GET",
-		"/v1/platforms":      "GET",
-		"/healthz":           "GET",
-		"/metrics":           "GET",
+		"/v1/run":                   "POST",
+		"/v1/jobs":                  "GET",
+		"/v1/jobs/{id}":             "GET",
+		"/v1/campaigns":             "GET, POST",
+		"/v1/campaigns/{id}":        "GET",
+		"/v1/campaigns/{id}/resume": "POST",
+		"/v1/fleet":                 "GET",
+		"/v1/fleet/register":        "POST",
+		"/v1/fleet/heartbeat":       "POST",
+		"/v1/scenarios":             "GET",
+		"/v1/platforms":             "GET",
+		"/healthz":                  "GET",
+		"/metrics":                  "GET",
 	} {
 		allow := allow
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -392,11 +548,15 @@ type metricsDoc struct {
 	TierHits      uint64 `json:"tier_hits"`
 	TierMisses    uint64 `json:"tier_misses"`
 	TierEvictions uint64 `json:"tier_evictions"`
+	TierNegatives int    `json:"tier_negatives"`
+
+	// Fleet is present only on coordinators (WithFleet).
+	Fleet *fleet.Gauges `json:"fleet,omitempty"`
 
 	Latency map[string]latency.Snapshot `json:"latency,omitempty"`
 }
 
-func metrics(svc *Service, hists map[string]*latency.Histogram) metricsDoc {
+func metrics(svc *Service, fc *fleet.Coordinator, hists map[string]*latency.Histogram) metricsDoc {
 	st := svc.Stats()
 	tier := svc.TierStats()
 	doc := metricsDoc{
@@ -411,7 +571,12 @@ func metrics(svc *Service, hists map[string]*latency.Histogram) metricsDoc {
 		TierHits:      tier.Hits,
 		TierMisses:    tier.Misses,
 		TierEvictions: tier.Evictions,
+		TierNegatives: tier.Negatives,
 		Latency:       map[string]latency.Snapshot{"sim": svc.SimLatency()},
+	}
+	if fc != nil {
+		g := fc.Gauges()
+		doc.Fleet = &g
 	}
 	for pattern, h := range hists {
 		if s := h.Snapshot(); s.Count > 0 {

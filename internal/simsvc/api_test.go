@@ -504,3 +504,51 @@ func TestAPICampaignLifecycle(t *testing.T) {
 		}
 	}
 }
+
+// TestAPIServeAttribution is the request-level attribution satellite:
+// the second identical request is answered by the memory layer and its
+// job must say so — before the fix it reported "sim", the source that
+// originally computed the cell for someone else's request.
+func TestAPIServeAttribution(t *testing.T) {
+	srv, svc := newTestServer(t, fixedSim(1.5))
+	body := `{"platform":"ZnG","mix":"betw-back","scale":0.5}`
+
+	_, doc := postRun(t, srv.URL, body)
+	var first JobInfo
+	if err := json.Unmarshal(doc["job"], &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != "sim" {
+		t.Fatalf("first request source = %q, want sim", first.Source)
+	}
+
+	resp, doc := postRun(t, srv.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	var second JobInfo
+	if err := json.Unmarshal(doc["job"], &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Errorf("repeat request job = %s, want the coalesced original %s", second.ID, first.ID)
+	}
+	if second.Source != "memory" {
+		t.Errorf("repeat request source = %q, want memory (the tier that served it)", second.Source)
+	}
+	// The async path reports the same attribution for an already-done cell.
+	resp, doc = postRun(t, srv.URL, `{"platform":"ZnG","mix":"betw-back","scale":0.5,"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async status = %d (%s)", resp.StatusCode, doc["error"])
+	}
+	var async JobInfo
+	if err := json.Unmarshal(doc["job"], &async); err != nil {
+		t.Fatal(err)
+	}
+	if async.Source != "memory" {
+		t.Errorf("async repeat source = %q, want memory", async.Source)
+	}
+	if st := svc.Stats(); st.Sims != 1 || st.MemoryHits != 2 {
+		t.Errorf("stats = %+v, want 1 sim, 2 memory hits", st)
+	}
+}

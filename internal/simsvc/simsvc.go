@@ -230,8 +230,12 @@ type Service struct {
 	// order slice on every completion. guarded by mu.
 	evictable int
 	evicted   uint64 // guarded by mu
-	closed    bool   // guarded by mu
-	wg        sync.WaitGroup
+	// running counts jobs a worker has popped and not yet finished —
+	// with the queue depth, the load figure a fleet worker heartbeats
+	// to its coordinator. guarded by mu.
+	running int
+	closed  bool // guarded by mu
+	wg      sync.WaitGroup
 }
 
 // New starts a service with cfg.Workers worker goroutines. Close it
@@ -272,7 +276,7 @@ func New(cfg Config) *Service {
 // callers that must not race retention use Do/DoJob, which hold the
 // job itself rather than re-resolving the id.
 func (s *Service) Submit(req Request) (string, error) {
-	j, err := s.submit(req)
+	j, _, err := s.submit(req)
 	if err != nil {
 		return "", err
 	}
@@ -281,8 +285,12 @@ func (s *Service) Submit(req Request) (string, error) {
 
 // submit is the admission core: it returns the owning job itself, so
 // internal callers keep a live reference that eviction cannot
-// invalidate.
-func (s *Service) submit(req Request) (*job, error) {
+// invalidate. served names the tier that satisfied THIS request when
+// it was answered at admission time ("memory" for memo and tier hits)
+// and is empty for coalesced attaches and fresh jobs — the job's own
+// source says how the cell was originally computed, which is not the
+// same thing (request-level serve attribution).
+func (s *Service) submit(req Request) (*job, string, error) {
 	id := keyID{kind: req.Kind, mixID: req.Mix.ID(), scale: req.Scale, cfg: req.Cfg}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -302,12 +310,15 @@ func (s *Service) submit(req Request) (*job, error) {
 		key = derived
 	}
 	if s.closed {
-		return nil, ErrClosed
+		return nil, "", ErrClosed
 	}
 	if j, ok := s.cells[key]; ok {
 		select {
 		case <-j.done:
+			// The completed cell answered from memory, whatever tier
+			// originally computed it.
 			s.stats.MemoryHits++
+			return j, "memory", nil
 		default:
 			s.stats.Coalesced++
 			j.waiters++
@@ -319,14 +330,15 @@ func (s *Service) submit(req Request) (*job, error) {
 				heap.Fix(&s.queue, j.idx)
 			}
 		}
-		return j, nil
+		return j, "", nil
 	}
 	// The result tier can satisfy cells whose jobs retention evicted:
-	// the job memo is gone but the decoded document is still resident.
-	// Serve it as an already-done job — no queue slot, no worker
-	// round-trip. GetMem never touches the disk, so the lookup is safe
-	// under the service lock.
-	if r, ok := s.tier.GetMem(key); ok {
+	// the job memo is gone but the decoded document (or its cached
+	// deterministic failure) is still resident. Serve it as an
+	// already-done job — no queue slot, no worker round-trip. GetMem
+	// never touches the disk, so the lookup is safe under the service
+	// lock.
+	if r, negErr, ok := s.tier.GetMem(key); ok {
 		s.stats.MemoryHits++
 		s.nextID++
 		j := &job{
@@ -344,6 +356,13 @@ func (s *Service) submit(req Request) (*job, error) {
 			done:      make(chan struct{}),
 			res:       r,
 		}
+		if negErr != nil {
+			// A cached deterministic failure replays without burning a
+			// worker on a simulation that fails identically every time.
+			j.state = StateError
+			j.err = negErr
+			j.res = platform.Result{}
+		}
 		close(j.done)
 		s.cells[key] = j
 		s.jobs[j.id] = j
@@ -352,11 +371,11 @@ func (s *Service) submit(req Request) (*job, error) {
 			s.evictable++
 		}
 		s.evictLocked()
-		return j, nil
+		return j, "memory", nil
 	}
 	if s.maxQueue > 0 && len(s.queue) >= s.maxQueue {
 		s.rejected++
-		return nil, ErrOverloaded
+		return nil, "", ErrOverloaded
 	}
 	s.nextID++
 	j := &job{
@@ -372,7 +391,7 @@ func (s *Service) submit(req Request) (*job, error) {
 	s.order = append(s.order, j)
 	heap.Push(&s.queue, j)
 	s.cond.Signal()
-	return j, nil
+	return j, "", nil
 }
 
 // Await blocks until the job finishes and returns its result. The
@@ -402,7 +421,7 @@ func (s *Service) Do(req Request) (platform.Result, error) {
 // DoJob is Do plus the satisfied job's final snapshot, for callers
 // (the HTTP sync path) that report job metadata alongside the result.
 func (s *Service) DoJob(req Request) (platform.Result, JobInfo, error) {
-	j, err := s.submit(req)
+	j, served, err := s.submit(req)
 	if err != nil {
 		return platform.Result{}, JobInfo{}, err
 	}
@@ -410,6 +429,12 @@ func (s *Service) DoJob(req Request) (platform.Result, JobInfo, error) {
 	s.mu.Lock()
 	info := j.info()
 	s.mu.Unlock()
+	// Request-level attribution: a request answered at admission from
+	// the memory layer reports the tier that served it, not the source
+	// that originally computed the cell for some earlier request.
+	if served != "" {
+		info.Source = served
+	}
 	res := j.res
 	if j.err == nil && req.Mix.Name != "" {
 		res.Workload = req.Mix.Name
@@ -421,13 +446,17 @@ func (s *Service) DoJob(req Request) (platform.Result, JobInfo, error) {
 // admission time, so async callers get consistent metadata even if
 // retention evicts the job before they poll.
 func (s *Service) SubmitJob(req Request) (JobInfo, error) {
-	j, err := s.submit(req)
+	j, served, err := s.submit(req)
 	if err != nil {
 		return JobInfo{}, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return j.info(), nil
+	info := j.info()
+	if served != "" {
+		info.Source = served
+	}
+	return info, nil
 }
 
 // Run implements experiments.Runner at default priority — the single
@@ -526,12 +555,16 @@ func (s *Service) worker() {
 		}
 		j := heap.Pop(&s.queue).(*job)
 		j.state = StateRunning
+		s.running++
 		s.mu.Unlock()
 
-		if r, tier := s.tier.Get(j.key); tier != restier.TierNone {
+		if r, negErr, tier := s.tier.Get(j.key); tier != restier.TierNone {
 			// A disk hit was promoted into the memory tier on the way
-			// through; either way the result is already persisted.
-			s.finish(j, r, nil, tier.String(), true, 0)
+			// through; either way the result is already persisted. A
+			// negative hit (a concurrent request cached the failure after
+			// this job was admitted) replays the deterministic error —
+			// failed jobs are evictable regardless of persistence.
+			s.finish(j, r, negErr, tier.String(), negErr == nil, 0)
 			continue
 		}
 		start := time.Now()
@@ -544,6 +577,12 @@ func (s *Service) worker() {
 			// in-memory result this job now carries stays valid (but the
 			// job is not evictable — disk could not back it up).
 			persisted = s.tier.Put(j.key, r)
+		} else {
+			// Every error that reaches a worker is deterministic — the
+			// simulator is a pure function of the cell, and runCell folds
+			// panics into errors — so cache it: repeat requests for the
+			// cell replay the failure from the tier without a worker.
+			s.tier.PutNegative(j.key, err.Error())
 		}
 		s.finish(j, r, err, "sim", persisted, simDur)
 	}
@@ -573,6 +612,7 @@ func (s *Service) finish(j *job, r platform.Result, err error, source string, pe
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.running--
 	j.res, j.err = r, err
 	j.source = source
 	j.persisted = persisted
@@ -648,6 +688,15 @@ func (s *Service) EvictedJobs() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.evicted
+}
+
+// Load reports the service's current backlog — queued plus running
+// jobs — the figure a fleet worker heartbeats to its coordinator so
+// dispatch can prefer idle peers.
+func (s *Service) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) + s.running
 }
 
 // Rejected reports how many submissions admission control refused

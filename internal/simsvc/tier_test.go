@@ -14,6 +14,7 @@ import (
 	"zng/internal/experiments"
 	"zng/internal/platform"
 	"zng/internal/report"
+	"zng/internal/restier"
 	"zng/internal/store"
 	"zng/internal/workload"
 )
@@ -335,5 +336,54 @@ func TestAPIMetricsTierGauges(t *testing.T) {
 	}
 	if m.Latency["sim"].Count != 2 {
 		t.Errorf("latency.sim count = %d, want 2", m.Latency["sim"].Count)
+	}
+}
+
+// TestNegativeCacheServesRepeatFailures: a deterministic simulation
+// failure whose job retention evicted is re-served from the tier's
+// negative entry — same error text, zero re-simulation.
+func TestNegativeCacheServesRepeatFailures(t *testing.T) {
+	mixA := testMix(t, "solo-bfs1")
+	mixB := testMix(t, "solo-gaus")
+	cfg := config.Default()
+	sims := 0
+	svc := New(Config{Workers: 1, MaxJobs: 1, CacheEntries: 4,
+		Simulate: func(kind platform.Kind, mix workload.Mix, scale float64, c config.Config) (platform.Result, error) {
+			sims++
+			if mix.ID() == mixA.ID() {
+				return platform.Result{}, errors.New("zng: apps exceed SMs")
+			}
+			return platform.Result{Kind: kind, Workload: mix.Name, IPC: 1}, nil
+		}})
+	defer svc.Close()
+
+	if _, err := svc.Run(platform.ZnG, mixA, 0.5, cfg); err == nil || err.Error() != "zng: apps exceed SMs" {
+		t.Fatalf("first run err = %v, want the simulation failure", err)
+	}
+	// Cell B pushes retention past the bound: A's failed job (evictable
+	// unconditionally) is dropped, leaving only the tier's negative entry.
+	if _, err := svc.Run(platform.ZnG, mixB, 0.5, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ts := svc.TierStats(); ts.Negatives != 1 {
+		t.Fatalf("tier negatives = %d, want 1 (stats %+v)", ts.Negatives, ts)
+	}
+
+	_, job, err := svc.DoJob(Request{Kind: platform.ZnG, Mix: mixA, Scale: 0.5, Cfg: cfg})
+	if err == nil || err.Error() != "zng: apps exceed SMs" {
+		t.Fatalf("replayed err = %v, want the original failure text", err)
+	}
+	var neg *restier.Negative
+	if !errors.As(err, &neg) {
+		t.Errorf("replayed error is %T, want a typed *restier.Negative", err)
+	}
+	if job.State != StateError || job.Source != "memory" {
+		t.Errorf("replayed job = %+v, want an error job served from memory", job)
+	}
+	if sims != 2 {
+		t.Errorf("simulator ran %d times, want 2 (the repeat failure must not re-simulate)", sims)
+	}
+	if st := svc.Stats(); st.MemoryHits != 1 {
+		t.Errorf("stats = %+v, want 1 memory hit for the negative serve", st)
 	}
 }
