@@ -24,8 +24,18 @@
 //	GET  /v1/fleet           live peer roster + fleet gauges
 //	GET  /v1/scenarios       workload scenario registry
 //	GET  /v1/platforms       platform vocabulary
+//	GET  /v1/trace           trace flight recorder (filter: endpoint, status, min_ms)
+//	GET  /v1/trace/stats     per-stage latency breakdown
+//	GET  /v1/trace/{id}      one trace's full span tree
 //	GET  /healthz            liveness
-//	GET  /metrics            counters (sims, memory/disk hits, coalesced, jobs, evictions, rejections, tier gauges, latency quantiles)
+//	GET  /metrics            counters (sims, memory/disk hits, coalesced, jobs, evictions, rejections, tier gauges, latency quantiles); ?format=prom for Prometheus text
+//
+// Observability: requests carrying an X-Zng-Trace header join the
+// caller's distributed trace; direct runs are sampled 1-in
+// -trace-sample. Completed spans land in a bounded in-memory flight
+// recorder (-trace-buf) served by the /v1/trace endpoints. Logs are
+// structured (log/slog); -log-level takes per-subsystem overrides
+// ("warn,fleet=debug") and -log-json switches to JSON lines.
 //
 // Serving is tiered: -mem-cache sizes an in-memory LRU of decoded
 // result documents fronting the store, so the hot working set skips
@@ -66,6 +76,7 @@ import (
 
 	"zng/internal/config"
 	"zng/internal/fleet"
+	"zng/internal/obs"
 	"zng/internal/simsvc"
 	"zng/internal/store"
 )
@@ -84,8 +95,23 @@ func main() {
 		coordinator = flag.String("coordinator", "", "join this coordinator's fleet as a worker (host:port or URL)")
 		advertise   = flag.String("advertise", "", "address to register with the coordinator (default: the bound listen address)")
 		fleetTTL    = flag.Duration("fleet-ttl", fleet.DefaultTTL, "heartbeat expiry window for workers registered with this daemon")
+
+		logLevel    = flag.String("log-level", "info", `log level, optionally per subsystem: "debug", "warn,fleet=debug"`)
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
+		traceBuf    = flag.Int("trace-buf", obs.DefaultCapacity, "completed spans retained in the trace flight recorder (0 disables tracing)")
+		traceSample = flag.Int("trace-sample", 64, "trace 1 in N direct /v1/run requests (campaigns and propagated traces are always recorded)")
 	)
 	flag.Parse()
+
+	levels, err := obs.ParseLevels(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	log := obs.NewLogger(os.Stderr, levels, *logJSON)
+	var tracer *obs.Tracer
+	if *traceBuf > 0 {
+		tracer = obs.New("zngd", *traceBuf, *traceSample)
+	}
 
 	var st *store.Store
 	if *cacheDir != "" {
@@ -100,6 +126,7 @@ func main() {
 		MaxJobs:      *maxJobs,
 		CacheEntries: *memCache,
 		MaxQueue:     *maxQueue,
+		Tracer:       tracer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -118,15 +145,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The bound address names this process in every span it records, so
+	// a cross-process trace reads "which worker ran this cell" off the
+	// span itself.
+	tracer.SetProc("zngd@" + bound)
 	cache := "memory-only"
 	if st != nil {
 		cache = st.Dir()
 	} else if *maxJobs > 0 {
 		// Without a store, completed results have nowhere to be
 		// re-served from, so retention only ever evicts failed jobs.
-		fmt.Println("zngd: no -cache: -max-jobs bounds failed jobs only; completed results are retained for the process lifetime")
+		log.Warn("no -cache: -max-jobs bounds failed jobs only; completed results are retained for the process lifetime")
 	}
-	fmt.Printf("zngd: listening on http://%s (cache: %s)\n", bound, cache)
+	log.Info("listening", "addr", "http://"+bound, "cache", cache)
 
 	// Every daemon coordinates: the fleet endpoints are always live,
 	// and a campaign POSTed here fans out over whatever workers have
@@ -138,6 +169,8 @@ func main() {
 		TTL:     *fleetTTL,
 		Workers: *workers,
 		Base:    config.Default(),
+		Tracer:  tracer,
+		Log:     log,
 	})
 	srv := &http.Server{Handler: simsvc.NewHandler(svc, config.Default(), simsvc.WithFleet(fc))}
 	errc := make(chan error, 1)
@@ -154,7 +187,7 @@ func main() {
 		}
 		agent := fleet.StartAgent(*coordinator, workerAddr, svc.Load)
 		defer agent.Stop()
-		fmt.Printf("zngd: worker registered with coordinator %s as %s\n", *coordinator, workerAddr)
+		obs.Sub(log, "fleet").Info("worker joined coordinator", "coordinator", *coordinator, "advertise", workerAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -165,11 +198,11 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	fmt.Println("zngd: shutting down, draining in-flight simulations")
+	log.Info("shutting down, draining in-flight simulations", "budget", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "zngd: shutdown:", err)
+		log.Error("shutdown", "err", err)
 	}
 	// The drain budget bounds the whole shutdown, service included: a
 	// multi-hour cell must not keep the process alive past -drain.
@@ -180,8 +213,9 @@ func main() {
 	}()
 	select {
 	case <-closed:
+		log.Info("drained; exiting")
 	case <-shutdownCtx.Done():
-		fmt.Fprintln(os.Stderr, "zngd: drain budget exhausted; exiting with simulations in flight (their cells are lost)")
+		log.Error("drain budget exhausted; exiting with simulations in flight (their cells are lost)")
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"zng/internal/latency"
+	"zng/internal/obs"
 )
 
 // loadConfig parameterizes one load run.
@@ -66,10 +67,14 @@ type reportDoc struct {
 	// job inherits that job's original source, so against a daemon
 	// whose -max-jobs bound never evicts, a hot cell keeps reporting
 	// how it was first computed.
-	Tiers    map[string]uint64 `json:"tiers"`
-	MinRPS   float64           `json:"min_rps,omitempty"`
-	MaxP99MS float64           `json:"max_p99_ms,omitempty"`
-	Pass     bool              `json:"pass"`
+	Tiers map[string]uint64 `json:"tiers"`
+	// Stages is the daemon's server-side per-stage latency breakdown
+	// (GET /v1/trace/stats) over whatever spans its flight recorder
+	// held after the run — empty when the daemon runs untraced.
+	Stages   []obs.StageStat `json:"stages,omitempty"`
+	MinRPS   float64         `json:"min_rps,omitempty"`
+	MaxP99MS float64         `json:"max_p99_ms,omitempty"`
+	Pass     bool            `json:"pass"`
 }
 
 func main() {
@@ -230,10 +235,32 @@ func run(cfg loadConfig) (reportDoc, error) {
 	if cfg.MaxP99 > 0 {
 		doc.MaxP99MS = float64(cfg.MaxP99) / float64(time.Millisecond)
 	}
+	doc.Stages = fetchStages(client, cfg.Addr)
 	doc.Pass = doc.Errors == 0 &&
 		(cfg.MinRPS <= 0 || doc.ThroughputRPS >= cfg.MinRPS) &&
 		(cfg.MaxP99 <= 0 || doc.Latency.P99MS <= doc.MaxP99MS)
 	return doc, nil
+}
+
+// fetchStages pulls the daemon's server-side stage breakdown; any
+// failure (old daemon, tracing disabled) just leaves the field empty —
+// the load report never fails over observability.
+func fetchStages(client *http.Client, addr string) []obs.StageStat {
+	resp, err := client.Get("http://" + addr + "/v1/trace/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var reply struct {
+		Stages []obs.StageStat `json:"stages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil
+	}
+	return reply.Stages
 }
 
 func fatal(err error) {

@@ -43,7 +43,11 @@
 // internal/report with -format md|csv|json. Cells that fail after
 // -retries attempts render as ERROR and the exit status is non-zero;
 // the rest of the matrix still prints. -v adds live progress, the
-// runner's dedup counters and — with -peers — per-peer cell counts.
+// runner's dedup counters, with -peers per-peer cell counts, and a
+// per-stage latency breakdown (queue wait, tier lookups, simulation,
+// store writes) folded from the campaign's trace — local runs record
+// it in-process, -coordinator runs fetch the coordinator's span tree
+// from GET /v1/trace/{id}.
 package main
 
 import (
@@ -61,6 +65,7 @@ import (
 	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/experiments"
+	"zng/internal/obs"
 	"zng/internal/remote"
 	"zng/internal/report"
 	"zng/internal/simsvc"
@@ -108,6 +113,15 @@ func main() {
 		return
 	}
 
+	// -v traces the campaign end to end (unsampled: the caller asked
+	// for this sweep) so the per-stage breakdown prints afterwards.
+	// Worker-side spans of a -peers run come back piggybacked on the
+	// peers' replies and fold into the same recorder.
+	var tracer *obs.Tracer
+	if *verbose {
+		tracer = obs.New("zngsweep", obs.DefaultCapacity, 1)
+	}
+
 	// Pick the execution backend: remote dispatcher > store-backed
 	// service > in-memory memo. All three satisfy the same Runner
 	// interface, which is the whole point.
@@ -124,20 +138,21 @@ func main() {
 		if err := d.CheckHealth(); err != nil {
 			fatal(fmt.Errorf("peer health check: %w", err))
 		}
+		d.SetTracer(tracer)
 		dispatcher, runner = d, d
 	case *cacheDir != "":
 		st, err := store.Open(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
-		svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers})
+		svc := simsvc.New(simsvc.Config{Store: st, Workers: *workers, Tracer: tracer})
 		defer svc.Close()
 		runner = svc
 	default:
 		runner = experiments.NewMemo()
 	}
 
-	ex := campaign.Executor{Runner: runner, Workers: *workers, Retries: *retries}
+	ex := campaign.Executor{Runner: runner, Workers: *workers, Retries: *retries, Tracer: tracer}
 	run, err := ex.Start(spec, config.Default())
 	if err != nil {
 		fatal(err)
@@ -177,6 +192,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "zngsweep: %d unique simulations, %d memory hits, %d disk hits, %d coalesced\n",
 				st.Sims, st.MemoryHits, st.DiskHits, st.Coalesced)
 		}
+		printStages(tracer.Stages())
 	}
 	if dispatcher != nil && (*verbose || out.Failed() > 0) {
 		for _, p := range dispatcher.PeerStats() {
@@ -199,6 +215,7 @@ type coordCampaign struct {
 	ID       string            `json:"id"`
 	Name     string            `json:"name"`
 	State    string            `json:"state"`
+	Trace    string            `json:"trace"`
 	Progress campaign.Progress `json:"progress"`
 	Errors   []struct {
 		Platform string  `json:"platform"`
@@ -299,10 +316,37 @@ func runOnCoordinator(base string, spec campaign.Spec, resumeID, format string, 
 	for _, ce := range detail.Errors {
 		fmt.Fprintf(os.Stderr, "zngsweep: cell %s/%s@%v [%s]: %s\n", ce.Platform, ce.Scenario, ce.Scale, ce.Config, ce.Error)
 	}
+	if verbose && detail.Trace != "" {
+		// The coordinator traced the whole campaign (dispatch, peer
+		// round trips, worker queue/tier/sim spans); fold its span tree
+		// into the same per-stage view a local -v run prints.
+		resp, err := hc.Get(base + "/v1/trace/" + detail.Trace)
+		if err == nil {
+			var tree struct {
+				Spans []obs.Record `json:"spans"`
+			}
+			if err := decodeReply(resp, &tree); err == nil && resp.StatusCode == http.StatusOK {
+				printStages(obs.Stages(tree.Spans))
+			}
+		}
+	}
 	if n := len(detail.Errors); n > 0 {
 		return fmt.Errorf("%d cells failed on the coordinator", n)
 	}
 	return nil
+}
+
+// printStages renders the per-stage latency breakdown (-v): one row
+// per span kind, p50/p95 over every recorded span of that kind.
+func printStages(stages []obs.StageStat) {
+	if len(stages) == 0 {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "zngsweep: per-stage latency:")
+	fmt.Fprintf(os.Stderr, "zngsweep:   %-16s %8s %12s %12s\n", "stage", "count", "p50", "p95")
+	for _, s := range stages {
+		fmt.Fprintf(os.Stderr, "zngsweep:   %-16s %8d %10.3fms %10.3fms\n", s.Name, s.Count, s.P50MS, s.P95MS)
+	}
 }
 
 func decodeReply(resp *http.Response, v any) error {

@@ -7,9 +7,22 @@ import (
 	"sync/atomic"
 
 	"zng/internal/config"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/stats"
+	"zng/internal/workload"
 )
+
+// TracedRunner is the optional traced execution surface a Runner may
+// additionally implement (simsvc.Service, remote.Dispatcher,
+// fleet.Coordinator do): Run with the caller's span context attached,
+// so the cell's downstream lifecycle — dispatch pick, peer round
+// trip, queue wait, tier lookups, simulation — records under the
+// campaign's trace. The executor type-asserts for it per cell; plain
+// Runners (the experiments memo) still work untraced.
+type TracedRunner interface {
+	RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error)
+}
 
 // Executor drives expanded cells through a Runner with bounded
 // concurrency and per-cell retry. The zero value is not usable: a
@@ -27,6 +40,11 @@ type Executor struct {
 	// error cheaply; against a remote dispatcher it rides out peer
 	// churn between attempts.
 	Retries int
+	// Tracer, when set, roots one trace per campaign (unsampled — the
+	// caller asked for this sweep) with a child span per cell, and
+	// passes each cell's context to the Runner when it implements
+	// TracedRunner. nil runs untraced.
+	Tracer *obs.Tracer
 }
 
 func (e Executor) workers() int {
@@ -144,6 +162,9 @@ func (o *Outcome) Table() *stats.Table {
 type Run struct {
 	spec  Spec
 	cells []Cell
+	// trace is the campaign's root trace id (0 when untraced) — the
+	// handle /v1/trace/{id} reconstructs the span tree under.
+	trace obs.ID
 
 	total   int
 	done    atomic.Int64
@@ -153,6 +174,10 @@ type Run struct {
 	finished chan struct{}
 	outcome  *Outcome
 }
+
+// Trace reports the campaign's root trace id (0 when the executor ran
+// untraced).
+func (r *Run) Trace() obs.ID { return r.trace }
 
 // Start expands the spec against the base configuration and launches
 // every cell through the executor's runner. It returns immediately;
@@ -181,7 +206,19 @@ func (e Executor) Start(spec Spec, base config.Config) (*Run, error) {
 		total:    len(cells),
 		finished: make(chan struct{}),
 	}
-	go r.execute(e)
+	// The campaign root span begins before Start returns, so the API
+	// layer can hand the trace id back in the 202 reply while cells
+	// are still in flight.
+	var root *obs.Span
+	if e.Tracer != nil {
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("%d cells", len(cells))
+		}
+		root = e.Tracer.StartRoot("campaign", name)
+		r.trace = root.Context().Trace
+	}
+	go r.execute(e, root)
 	return r, nil
 }
 
@@ -194,9 +231,11 @@ func (e Executor) Execute(spec Spec, base config.Config) (*Outcome, error) {
 	return run.Wait(), nil
 }
 
-func (r *Run) execute(e Executor) {
+func (r *Run) execute(e Executor, root *obs.Span) {
 	results := make([]CellResult, len(r.cells))
 	sem := make(chan struct{}, e.workers())
+	rootCtx := root.Context()
+	traced, _ := e.Runner.(TracedRunner)
 	var wg sync.WaitGroup
 	for i, c := range r.cells {
 		i, c := i, c
@@ -204,10 +243,18 @@ func (r *Run) execute(e Executor) {
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
+			// One span per cell covering every attempt; the runner's
+			// own spans (dispatch, peer, queue, sim) nest under it.
+			cell := e.Tracer.StartSpan(rootCtx,
+				"cell", fmt.Sprintf("%s/%s@%s", c.Kind, c.Mix.Name, stats.FormatFloat(c.Scale)))
 			cr := CellResult{Cell: c}
 			for attempt := 0; attempt <= e.Retries; attempt++ {
 				cr.Attempts = attempt + 1
-				cr.Result, cr.Err = e.Runner.Run(c.Kind, c.Mix, c.Scale, c.Cfg)
+				if sc := cell.Context(); sc.Valid() && traced != nil {
+					cr.Result, cr.Err = traced.RunTraced(sc, c.Kind, c.Mix, c.Scale, c.Cfg)
+				} else {
+					cr.Result, cr.Err = e.Runner.Run(c.Kind, c.Mix, c.Scale, c.Cfg)
+				}
 				if cr.Err == nil {
 					break
 				}
@@ -215,6 +262,7 @@ func (r *Run) execute(e Executor) {
 					r.retried.Add(1)
 				}
 			}
+			cell.EndErr(cr.Err)
 			results[i] = cr
 			if cr.Err != nil {
 				r.failed.Add(1)
@@ -225,6 +273,7 @@ func (r *Run) execute(e Executor) {
 	}
 	wg.Wait()
 	r.outcome = &Outcome{Spec: r.spec, Cells: results}
+	root.EndErr(r.outcome.Err())
 	close(r.finished)
 }
 

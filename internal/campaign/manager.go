@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"zng/internal/config"
+	"zng/internal/obs"
 )
 
 // Campaign is one managed campaign: the spec it was started from,
@@ -37,6 +38,9 @@ func (c *Campaign) Wait() *Outcome { return c.run.Wait() }
 
 // Cells returns the campaign's expanded grid.
 func (c *Campaign) Cells() []Cell { return c.run.Cells() }
+
+// Trace reports the campaign's root trace id (0 when untraced).
+func (c *Campaign) Trace() obs.ID { return c.run.Trace() }
 
 // DefaultMaxCampaigns bounds the finished campaigns a Manager
 // retains. A finished campaign's Outcome carries every cell's result
@@ -78,6 +82,11 @@ func NewManager(r Runner, base config.Config, workers int) *Manager {
 		byID: map[string]*Campaign{},
 	}
 }
+
+// SetTracer wires a tracer into the manager's executor: every
+// campaign started afterwards roots a trace. Call before serving
+// traffic (the zngd handler does, right after construction).
+func (m *Manager) SetTracer(t *obs.Tracer) { m.exec.Tracer = t }
 
 // SetMaxCampaigns overrides the retention bound (0 = unbounded).
 func (m *Manager) SetMaxCampaigns(n int) {

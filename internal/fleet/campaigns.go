@@ -77,8 +77,8 @@ func (m *Campaigns) Start(spec campaign.Spec) (*campaign.Campaign, error) {
 		return nil, err
 	}
 	resuming := len(journal) > 0
-	dr := &durableRunner{inner: m.co, st: m.st, ck: m.ck, id: id, journal: journal}
-	exec := campaign.Executor{Runner: dr, Workers: m.workers, Retries: 1}
+	dr := &durableRunner{inner: m.co, st: m.st, ck: m.ck, id: id, tr: m.co.tr, journal: journal}
+	exec := campaign.Executor{Runner: dr, Workers: m.workers, Retries: 1, Tracer: m.co.tr}
 	run, err := exec.Start(spec, m.base)
 	if err != nil {
 		return nil, err

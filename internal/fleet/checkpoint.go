@@ -10,9 +10,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"zng/internal/campaign"
 	"zng/internal/config"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/remote"
 	"zng/internal/store"
@@ -226,6 +228,9 @@ type durableRunner struct {
 	st    *store.Store
 	ck    *Checkpointer
 	id    string
+	// tr records journal replays and checkpoint writes as spans of
+	// traced cells; nil runs untraced.
+	tr *obs.Tracer
 
 	mu sync.Mutex
 	// journal mirrors the on-disk journal for this campaign (seeded
@@ -237,13 +242,26 @@ type durableRunner struct {
 }
 
 func (d *durableRunner) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return d.run(obs.SpanContext{}, kind, mix, scale, cfg)
+}
+
+// RunTraced is Run under the caller's span context: journal replays
+// record a zero-cost "journal.replay" span, fresh cells thread the
+// context through the fleet (the coordinator implements
+// campaign.TracedRunner), and the checkpoint write lands as a
+// "journal.write" span. It implements campaign.TracedRunner.
+func (d *durableRunner) RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return d.run(sc, kind, mix, scale, cfg)
+}
+
+func (d *durableRunner) run(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
 	key := store.CellKey(kind, mix.ID(), scale, cfg)
 	d.mu.Lock()
 	e, done := d.journal[key]
 	d.mu.Unlock()
 	if done {
 		if e.Error != "" {
-			d.noteReplay()
+			d.noteReplay(sc, key)
 			return platform.Result{}, errors.New(e.Error)
 		}
 		if d.st != nil {
@@ -254,7 +272,7 @@ func (d *durableRunner) Run(kind platform.Kind, mix workload.Mix, scale float64,
 				if mix.Name != "" {
 					r.Workload = mix.Name
 				}
-				d.noteReplay()
+				d.noteReplay(sc, key)
 				return r, nil
 			}
 		}
@@ -262,7 +280,14 @@ func (d *durableRunner) Run(kind platform.Kind, mix workload.Mix, scale float64,
 		// the narrow window the discipline is designed around never
 		// leaves us in): heal by re-running the cell.
 	}
-	res, err := d.inner.Run(kind, mix, scale, cfg)
+	var res platform.Result
+	var err error
+	ti, ok := d.inner.(campaign.TracedRunner)
+	if sc.Valid() && ok {
+		res, err = ti.RunTraced(sc, kind, mix, scale, cfg)
+	} else {
+		res, err = d.inner.Run(kind, mix, scale, cfg)
+	}
 	if err != nil {
 		var pe *remote.PeerError
 		if errors.Is(err, remote.ErrNoPeers) || errors.As(err, &pe) {
@@ -272,34 +297,40 @@ func (d *durableRunner) Run(kind platform.Kind, mix workload.Mix, scale float64,
 			return res, err
 		}
 	}
-	d.checkpoint(key, res, err)
+	d.checkpoint(sc, key, res, err)
 	return res, err
 }
 
 // checkpoint records one resolved cell: successful results land in
 // the store first, then the journal; deterministic failures journal
 // their text. A failed store write skips the journal entirely so a
-// resume re-simulates rather than trusting an unbacked entry.
-func (d *durableRunner) checkpoint(key string, res platform.Result, err error) {
+// resume re-simulates rather than trusting an unbacked entry. Traced
+// cells record the store+journal write as one "journal.write" span.
+func (d *durableRunner) checkpoint(sc obs.SpanContext, key string, res platform.Result, err error) {
+	span := d.tr.StartSpan(sc, "journal.write", key)
 	e := JournalEntry{Key: key}
 	if err != nil {
 		e.Error = err.Error()
 	} else if d.st != nil {
 		if perr := d.st.Put(key, res); perr != nil {
+			span.EndErr(perr)
 			return
 		}
 	}
 	if jerr := d.ck.JournalCell(d.id, e); jerr != nil {
 		// The run still has the result in memory; losing the journal
 		// entry only costs a re-run on resume.
+		span.EndErr(jerr)
 		return
 	}
+	span.End()
 	d.mu.Lock()
 	d.journal[key] = e
 	d.mu.Unlock()
 }
 
-func (d *durableRunner) noteReplay() {
+func (d *durableRunner) noteReplay(sc obs.SpanContext, key string) {
+	d.tr.Observe(sc, "journal.replay", key, time.Now(), 0, nil)
 	d.mu.Lock()
 	d.replayed++
 	d.mu.Unlock()

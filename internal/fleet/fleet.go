@@ -19,11 +19,13 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"zng/internal/campaign"
 	"zng/internal/config"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/remote"
 	"zng/internal/store"
@@ -67,6 +69,14 @@ type Config struct {
 	Workers int
 	// Base is the configuration campaign overrides perturb.
 	Base config.Config
+	// Tracer, when set, threads span contexts through dispatch: durable
+	// campaigns root one trace each, every cell records a dispatch span
+	// here, and worker-side spans come back piggybacked on peer
+	// replies. nil runs untraced.
+	Tracer *obs.Tracer
+	// Log receives structured membership events (worker registration,
+	// heartbeat expiry with the reassignment fallout). nil discards.
+	Log *slog.Logger
 }
 
 // Peer is one registered worker's externally visible state.
@@ -118,6 +128,8 @@ type Coordinator struct {
 	st    *store.Store
 	ttl   time.Duration
 	camps *Campaigns
+	tr    *obs.Tracer  // nil = untraced
+	log   *slog.Logger // never nil (NopLogger when unset)
 
 	mu     sync.Mutex
 	peers  map[string]*peerState // guarded by mu; peer id -> state
@@ -139,11 +151,19 @@ func New(cfg Config) *Coordinator {
 	if cfg.Timeout > 0 {
 		disp.SetTimeout(cfg.Timeout)
 	}
+	if cfg.Tracer != nil {
+		disp.SetTracer(cfg.Tracer)
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
 	c := &Coordinator{
 		local:  cfg.Local,
 		disp:   disp,
 		st:     cfg.Store,
 		ttl:    cfg.TTL,
+		tr:     cfg.Tracer,
+		log:    obs.Sub(cfg.Log, "fleet"),
 		peers:  map[string]*peerState{},
 		byAddr: map[string]string{},
 	}
@@ -154,6 +174,9 @@ func New(cfg Config) *Coordinator {
 // TTL reports the heartbeat expiry window (the interval hint the
 // register reply carries is derived from it).
 func (c *Coordinator) TTL() time.Duration { return c.ttl }
+
+// Tracer reports the coordinator's tracer (nil when untraced).
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tr }
 
 // Campaigns is the coordinator's durable campaign manager — the
 // drop-in replacement for campaign.Manager behind the zngd API.
@@ -188,6 +211,7 @@ func (c *Coordinator) Register(addr string) (Peer, error) {
 	c.peers[p.id] = p
 	c.byAddr[norm] = p.id
 	c.disp.AddPeer(norm)
+	c.log.Info("worker registered", "peer", p.id, "addr", norm, "peers_live", len(c.peers))
 	return peerInfo(p, now), nil
 }
 
@@ -225,6 +249,9 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			c.disp.RemovePeer(p.addr)
 		}
 		c.dead++
+		c.log.Warn("worker expired", "peer", id, "addr", p.addr,
+			"silent", now.Sub(p.lastBeat).Round(time.Millisecond).String(),
+			"peers_live", len(c.peers), "cells_reassigned", c.disp.Reassigned())
 	}
 }
 
@@ -268,16 +295,40 @@ func (c *Coordinator) Gauges() Gauges {
 // simulation error from a peer is returned as-is — every worker (and
 // the local runner) would compute the identical failure.
 func (c *Coordinator) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return c.run(obs.SpanContext{}, kind, mix, scale, cfg)
+}
+
+// RunTraced is Run under the caller's span context: each cell records
+// a "dispatch" span here (detail: "local", "fleet", or the
+// local-fallback reason), the dispatcher's per-attempt peer spans and
+// the workers' piggybacked spans nest under it, and a local fallback
+// threads the same context into the local runner when it implements
+// campaign.TracedRunner. It implements campaign.TracedRunner itself,
+// so durable campaigns executed through the coordinator trace end to
+// end.
+func (c *Coordinator) RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return c.run(sc, kind, mix, scale, cfg)
+}
+
+func (c *Coordinator) run(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
 	now := time.Now()
 	c.mu.Lock()
 	c.expireLocked(now)
 	live := len(c.peers)
 	c.mu.Unlock()
 	if live == 0 {
-		return c.local.Run(kind, mix, scale, cfg)
+		return c.runLocal(sc, "local", kind, mix, scale, cfg)
 	}
-	res, err := c.disp.Run(kind, mix, scale, cfg)
+	span := c.span(sc, "dispatch", "fleet")
+	var res platform.Result
+	var err error
+	if dc := span.Context(); dc.Valid() {
+		res, err = c.disp.RunTraced(dc, kind, mix, scale, cfg)
+	} else {
+		res, err = c.disp.Run(kind, mix, scale, cfg)
+	}
 	if err == nil {
+		span.End()
 		return res, nil
 	}
 	var pe *remote.PeerError
@@ -285,7 +336,36 @@ func (c *Coordinator) Run(kind platform.Kind, mix workload.Mix, scale float64, c
 		// Every peer faulted (or the fleet emptied under us): the cell
 		// is nobody's deterministic failure, so run it locally rather
 		// than failing the campaign over transport weather.
-		return c.local.Run(kind, mix, scale, cfg)
+		span.SetDetail("fleet: fell back local")
+		span.End()
+		return c.runLocal(sc, "local fallback", kind, mix, scale, cfg)
 	}
+	span.EndErr(err)
 	return res, err
+}
+
+// runLocal answers a cell on the Local runner under a "dispatch" span
+// (detail says why execution stayed local), threading the context
+// through when the runner is traceable.
+func (c *Coordinator) runLocal(sc obs.SpanContext, why string, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	span := c.span(sc, "dispatch", why)
+	var res platform.Result
+	var err error
+	tl, ok := c.local.(campaign.TracedRunner)
+	if dc := span.Context(); dc.Valid() && ok {
+		res, err = tl.RunTraced(dc, kind, mix, scale, cfg)
+	} else {
+		res, err = c.local.Run(kind, mix, scale, cfg)
+	}
+	span.EndErr(err)
+	return res, err
+}
+
+// span starts a child span when both a tracer and a valid parent are
+// present; otherwise it returns the nil span, whose methods no-op.
+func (c *Coordinator) span(sc obs.SpanContext, name, detail string) *obs.Span {
+	if c.tr == nil {
+		return nil
+	}
+	return c.tr.StartSpan(sc, name, detail)
 }

@@ -1,0 +1,118 @@
+// Cross-process tracing integration: a campaign dispatched over two
+// real zngd worker handlers must reconstruct as ONE span tree — the
+// coordinator's campaign/cell/dispatch/peer spans and each worker's
+// http/queue/tier/sim spans, all under the same trace id, stitched
+// together by the X-Zng-Trace header and the piggybacked span records.
+package fleet_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+
+	"zng/internal/campaign"
+	"zng/internal/config"
+	"zng/internal/fleet"
+	"zng/internal/obs"
+	"zng/internal/report"
+	"zng/internal/simsvc"
+)
+
+// newTracedWorker boots a zngd worker with its own flight recorder,
+// labeled so spans ingested by the coordinator carry the worker's
+// process identity.
+func newTracedWorker(t *testing.T, proc string) *httptest.Server {
+	t.Helper()
+	svc := simsvc.New(simsvc.Config{
+		Workers:  2,
+		Simulate: detSim,
+		Tracer:   obs.New(proc, 1024, 1),
+	})
+	t.Cleanup(svc.Close)
+	srv := httptest.NewServer(simsvc.NewHandler(svc, config.Default()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDistributedCampaignSingleTrace(t *testing.T) {
+	spec := integrationSpec()
+	want := referenceTable(t, spec)
+
+	coTracer := obs.New("coordinator", 4096, 1)
+	w1 := newTracedWorker(t, "worker-1")
+	w2 := newTracedWorker(t, "worker-2")
+
+	fc := fleet.New(fleet.Config{
+		Local:   runnerFunc(detSim),
+		Workers: 4,
+		Base:    config.Default(),
+		Tracer:  coTracer,
+	})
+	if _, err := fc.Register(w1.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Register(w2.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	exec := campaign.Executor{Runner: fc, Workers: 4, Tracer: coTracer}
+	run, err := exec.Start(spec, config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run.Wait()
+	if out.Err() != nil {
+		t.Fatal(out.Err())
+	}
+	if got := report.JSON(out.Table()); !bytes.Equal(got, want) {
+		t.Errorf("traced fleet campaign matrix differs from local reference:\nfleet: %s\nlocal: %s", got, want)
+	}
+
+	id := run.Trace()
+	if id == 0 {
+		t.Fatal("traced campaign minted no trace id")
+	}
+	recs := coTracer.Trace(id)
+	if len(recs) == 0 {
+		t.Fatal("coordinator recorder holds no spans for the campaign trace")
+	}
+
+	kinds := map[string]bool{}
+	procs := map[string]bool{}
+	var badTrace int
+	for _, r := range recs {
+		if r.Trace != id {
+			badTrace++
+		}
+		kinds[r.Name] = true
+		procs[r.Proc] = true
+	}
+	if badTrace != 0 {
+		t.Errorf("%d spans carry a foreign trace id", badTrace)
+	}
+
+	// The coordinator's own lifecycle spans.
+	for _, want := range []string{"campaign", "cell", "dispatch", "peer"} {
+		if !kinds[want] {
+			t.Errorf("trace missing coordinator span kind %q (got %v)", want, kinds)
+		}
+	}
+	// Worker-side spans piggybacked across the process boundary: the
+	// request ingress and the worker loop's tier/sim stages.
+	for _, want := range []string{"http", "sim"} {
+		if !kinds[want] {
+			t.Errorf("trace missing worker span kind %q (got %v)", want, kinds)
+		}
+	}
+	if len(kinds) < 4 {
+		t.Errorf("trace spans %d kinds, want at least 4: %v", len(kinds), kinds)
+	}
+
+	// One trace, three processes: the coordinator plus both workers.
+	// Eight cells over two least-loaded peers lands work on both.
+	for _, want := range []string{"coordinator", "worker-1", "worker-2"} {
+		if !procs[want] {
+			t.Errorf("trace has no spans from %q (procs %v)", want, procs)
+		}
+	}
+}

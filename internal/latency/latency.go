@@ -20,6 +20,7 @@ package latency
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,41 @@ func (h *Histogram) Count() uint64 {
 		n += h.counts[i].Load()
 	}
 	return n
+}
+
+// Sum reports the total of every observed duration — with Count and
+// Buckets, the exported surface the Prometheus emitter renders
+// (_sum/_count/_bucket) without reaching into histogram internals.
+func (h *Histogram) Sum() time.Duration {
+	return time.Duration(h.sum.Load())
+}
+
+// InfUpper is the Upper sentinel of the final cumulative bucket — the
+// histogram's open-ended "+Inf" bound.
+const InfUpper = time.Duration(math.MaxInt64)
+
+// Bucket is one cumulative bucket: Count observations were <= Upper.
+// The last bucket's Upper is InfUpper and its Count equals Count().
+type Bucket struct {
+	Upper time.Duration
+	Count uint64
+}
+
+// Buckets snapshots the histogram as cumulative upper-bound buckets,
+// Prometheus-style. Counts are read once per bucket, so a snapshot
+// under concurrent recording is approximate to in-flight traffic but
+// never decreasing across buckets.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, numBuckets)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = Bucket{Upper: bucketHigh(i), Count: cum}
+	}
+	// The final bucket is open-ended: everything slower than the
+	// second-to-last bound saturated into it.
+	out[numBuckets-1].Upper = InfUpper
+	return out
 }
 
 // Mean reports the average observed duration (0 with no

@@ -19,6 +19,12 @@ type DeterminismConfig struct {
 	// math/rand anyway — the one package whose whole job is wrapping
 	// a generator.
 	RandAllowed []string
+	// TimeSinks lists import-path suffixes of sanctioned
+	// observability packages (tracing, latency histograms) that read
+	// the wall clock by design. A deterministic-core package importing
+	// one is flagged: measurement belongs in the serving layer around
+	// the core, never inside it.
+	TimeSinks []string
 }
 
 // DefaultDeterminism returns the determinism analyzer scoped to this
@@ -39,13 +45,17 @@ func DefaultDeterminism() *Analyzer {
 			"internal/cellkey", "internal/store", "internal/experiments",
 		},
 		RandAllowed: []string{"internal/rng"},
+		TimeSinks:   []string{"internal/obs", "internal/latency"},
 	})
 }
 
 // NewDeterminism builds the determinism analyzer: inside the
 // configured packages it flags wall-clock reads (time.Now), math/rand
 // imports (any seeding or draw outside the repo's deterministic rng
-// wrapper, including the argless global rand.* helpers), and
+// wrapper, including the argless global rand.* helpers), imports of
+// the configured observability time sinks (internal/obs,
+// internal/latency — sanctioned wall-clock users that must stay
+// outside the core), and
 // map-iteration whose body produces order-sensitive output — appends
 // that are never sorted afterwards, float accumulation (float
 // addition does not associate, so sum order changes result bits), or
@@ -69,6 +79,11 @@ func NewDeterminism(cfg DeterminismConfig) *Analyzer {
 				if (path == "math/rand" || path == "math/rand/v2") && !randOK {
 					pass.Reportf(imp.Pos(),
 						"import of %s in deterministic package %s: draw randomness from internal/rng so traces stay seed-deterministic",
+						path, pass.Pkg.Path())
+				}
+				if pathMatches(path, cfg.TimeSinks) {
+					pass.Reportf(imp.Pos(),
+						"import of time sink %s in deterministic package %s: tracing and latency measurement wrap the core from the serving layer, they do not live inside it",
 						path, pass.Pkg.Path())
 				}
 			}

@@ -1,0 +1,45 @@
+package obs
+
+import "testing"
+
+// BenchmarkSampledOut measures the cost a request pays when sampling
+// drops it — the overhead the warm submit path carries per request
+// when tracing is configured but this request is not kept. This is
+// the number the < 5% serving-regression budget rides on.
+func BenchmarkSampledOut(b *testing.B) {
+	tr := New("bench", 1024, 1<<30) // keeps only the very first request
+	tr.SampledRoot("http", "warm")  // consume the kept slot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.SampledRoot("http", "POST /v1/run")
+		s.SetCode(200)
+		s.End()
+	}
+}
+
+// BenchmarkSpanRecord measures a full sampled-in span: mint, end,
+// ring write.
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := New("bench", 1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.StartRoot("http", "POST /v1/run")
+		s.SetCode(200)
+		s.End()
+	}
+}
+
+// BenchmarkChildSpan measures the propagated-context path the worker
+// loop takes per stage span.
+func BenchmarkChildSpan(b *testing.B) {
+	tr := New("bench", 1024, 1)
+	root := tr.StartRoot("campaign", "")
+	ctx := root.Context()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StartSpan(ctx, "sim", "").End()
+	}
+}

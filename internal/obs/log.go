@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// SubsystemKey is the attribute key that routes per-subsystem log
+// levels: a logger derived with Sub(l, "fleet") carries sub=fleet on
+// every record, and a level spec like "info,fleet=debug" lowers just
+// that subsystem's threshold.
+const SubsystemKey = "sub"
+
+// Sub derives a subsystem-labeled logger whose minimum level follows
+// the spec's per-subsystem override (Sub on a non-obs logger still
+// labels records, it just has no level routing to trigger).
+func Sub(l *slog.Logger, name string) *slog.Logger {
+	return l.With(SubsystemKey, name)
+}
+
+// Levels is a parsed log-level spec: a default threshold plus
+// per-subsystem overrides.
+type Levels struct {
+	def  slog.Level
+	subs map[string]slog.Level
+}
+
+// ParseLevels parses a -log-level spec: a default level optionally
+// followed by subsystem overrides, comma-separated —
+//
+//	"info"                 everything at info
+//	"warn,fleet=debug"     warn by default, fleet at debug
+//	"http=debug"           default info, http at debug
+//
+// Levels are debug, info, warn, error. An empty spec means "info".
+func ParseLevels(spec string) (Levels, error) {
+	lv := Levels{def: slog.LevelInfo, subs: map[string]slog.Level{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, isSub := strings.Cut(part, "=")
+		if !isSub {
+			l, err := parseLevel(name)
+			if err != nil {
+				return lv, err
+			}
+			lv.def = l
+			continue
+		}
+		l, err := parseLevel(val)
+		if err != nil {
+			return lv, err
+		}
+		lv.subs[strings.TrimSpace(name)] = l
+	}
+	return lv, nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the daemon's structured logger over w: text or
+// JSON lines, thresholded by the level spec with per-subsystem
+// routing via Sub.
+func NewLogger(w io.Writer, lv Levels, jsonFmt bool) *slog.Logger {
+	// The inner handler is wide open; the routing wrapper enforces the
+	// effective threshold per subsystem.
+	opts := &slog.HandlerOptions{Level: slog.LevelDebug}
+	var inner slog.Handler
+	if jsonFmt {
+		inner = slog.NewJSONHandler(w, opts)
+	} else {
+		inner = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(&levelHandler{inner: inner, lv: lv, min: lv.def})
+}
+
+// NopLogger discards everything — the default for library layers
+// whose caller did not wire a logger.
+func NopLogger() *slog.Logger {
+	return slog.New(nopHandler{})
+}
+
+// levelHandler routes per-subsystem minimum levels: WithAttrs watches
+// for the SubsystemKey attribute and re-derives the effective
+// threshold, so Enabled answers cheaply with no attribute search per
+// record.
+type levelHandler struct {
+	inner slog.Handler
+	lv    Levels
+	min   slog.Level
+}
+
+func (h *levelHandler) Enabled(_ context.Context, l slog.Level) bool { return l >= h.min }
+
+func (h *levelHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *levelHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &levelHandler{inner: h.inner.WithAttrs(attrs), lv: h.lv, min: h.min}
+	for _, a := range attrs {
+		if a.Key != SubsystemKey {
+			continue
+		}
+		if l, ok := h.lv.subs[a.Value.String()]; ok {
+			nh.min = l
+		} else {
+			nh.min = h.lv.def
+		}
+	}
+	return nh
+}
+
+func (h *levelHandler) WithGroup(name string) slog.Handler {
+	return &levelHandler{inner: h.inner.WithGroup(name), lv: h.lv, min: h.min}
+}
+
+// nopHandler drops every record.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

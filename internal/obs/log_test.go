@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevels(t *testing.T) {
+	lv, err := ParseLevels("warn,fleet=debug, http=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv.def != slog.LevelWarn {
+		t.Fatalf("default level = %v, want warn", lv.def)
+	}
+	if lv.subs["fleet"] != slog.LevelDebug || lv.subs["http"] != slog.LevelError {
+		t.Fatalf("subsystem overrides = %v", lv.subs)
+	}
+	if lv, err := ParseLevels(""); err != nil || lv.def != slog.LevelInfo {
+		t.Fatalf("empty spec = %v, %v; want info default", lv.def, err)
+	}
+	if _, err := ParseLevels("loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if _, err := ParseLevels("info,fleet=loud"); err == nil {
+		t.Fatal("unknown subsystem level accepted")
+	}
+}
+
+func TestSubsystemLevelRouting(t *testing.T) {
+	lv, err := ParseLevels("warn,fleet=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	log := NewLogger(&buf, lv, false)
+
+	log.Info("root info dropped")
+	log.Warn("root warn kept")
+	Sub(log, "fleet").Debug("fleet debug kept")
+	Sub(log, "tier").Info("tier info dropped")
+
+	out := buf.String()
+	if strings.Contains(out, "root info dropped") || strings.Contains(out, "tier info dropped") {
+		t.Fatalf("sub-threshold records leaked:\n%s", out)
+	}
+	if !strings.Contains(out, "root warn kept") {
+		t.Fatalf("default-level warn missing:\n%s", out)
+	}
+	if !strings.Contains(out, "fleet debug kept") || !strings.Contains(out, "sub=fleet") {
+		t.Fatalf("fleet debug override not routed:\n%s", out)
+	}
+}
+
+func TestJSONLogger(t *testing.T) {
+	lv, _ := ParseLevels("info")
+	var buf bytes.Buffer
+	log := NewLogger(&buf, lv, true)
+	Sub(log, "fleet").Info("worker joined", "peer", "w1")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "worker joined" || rec[SubsystemKey] != "fleet" || rec["peer"] != "w1" {
+		t.Fatalf("JSON record = %v", rec)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	// Must be safe and silent at every level, including via Sub.
+	log.Error("dropped")
+	Sub(log, "fleet").Warn("dropped")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}

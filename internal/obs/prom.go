@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+
+	"zng/internal/latency"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one Prometheus label pair. Callers pass labels in the
+// order they should render; the builder never reorders them.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Prom accumulates Prometheus text exposition (format version 0.0.4):
+// the /metrics?format=prom rendering of the serving stack's counters,
+// gauges and latency histograms. Not safe for concurrent use — build
+// one per scrape.
+type Prom struct {
+	b bytes.Buffer
+	// seen tracks which metric names already emitted their HELP/TYPE
+	// header, so multiple label sets of one metric share a single
+	// header (Prometheus requires all of a name's series grouped).
+	seen map[string]bool
+}
+
+// Counter emits one counter sample (callers include the _total
+// suffix in name, per convention).
+func (p *Prom) Counter(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "counter")
+	p.sample(name, "", labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *Prom) Gauge(name, help string, v float64, labels ...Label) {
+	p.header(name, help, "gauge")
+	p.sample(name, "", labels, v)
+}
+
+// Histogram emits one latency histogram as cumulative _bucket series
+// (le in seconds), plus _sum and _count. Call it once per label set;
+// the shared header is emitted once.
+func (p *Prom) Histogram(name, help string, h *latency.Histogram, labels ...Label) {
+	p.header(name, help, "histogram")
+	for _, b := range h.Buckets() {
+		le := "+Inf"
+		if b.Upper != latency.InfUpper {
+			le = formatFloat(b.Upper.Seconds())
+		}
+		p.sample(name+"_bucket", le, labels, float64(b.Count))
+	}
+	p.sample(name+"_sum", "", labels, h.Sum().Seconds())
+	p.sample(name+"_count", "", labels, float64(h.Count()))
+}
+
+// Bytes renders the accumulated exposition.
+func (p *Prom) Bytes() []byte { return p.b.Bytes() }
+
+func (p *Prom) header(name, help, typ string) {
+	if p.seen == nil {
+		p.seen = map[string]bool{}
+	}
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.b.WriteString("# HELP " + name + " " + help + "\n")
+	p.b.WriteString("# TYPE " + name + " " + typ + "\n")
+}
+
+// sample writes one series line; le, when non-empty, is appended as
+// the trailing le label (the histogram bucket form).
+func (p *Prom) sample(name, le string, labels []Label, v float64) {
+	p.b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		p.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			p.b.WriteString(l.Name + `="` + escapeLabel(l.Value) + `"`)
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				p.b.WriteByte(',')
+			}
+			p.b.WriteString(`le="` + le + `"`)
+		}
+		p.b.WriteByte('}')
+	}
+	p.b.WriteByte(' ')
+	p.b.WriteString(formatFloat(v))
+	p.b.WriteByte('\n')
+}
+
+// escapeLabel applies the exposition format's label-value escapes.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// formatFloat renders a value the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

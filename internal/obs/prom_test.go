@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"zng/internal/latency"
+)
+
+func TestPromCounterAndGauge(t *testing.T) {
+	var p Prom
+	p.Counter("zng_sims_total", "simulations run", 42)
+	p.Gauge("zng_jobs", "jobs by state", 3, Label{Name: "state", Value: "queued"})
+	p.Gauge("zng_jobs", "jobs by state", 1, Label{Name: "state", Value: "running"})
+	out := string(p.Bytes())
+
+	for _, want := range []string{
+		"# HELP zng_sims_total simulations run\n",
+		"# TYPE zng_sims_total counter\n",
+		"zng_sims_total 42\n",
+		"# TYPE zng_jobs gauge\n",
+		`zng_jobs{state="queued"} 3` + "\n",
+		`zng_jobs{state="running"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per name even across repeated label sets.
+	if got := strings.Count(out, "# TYPE zng_jobs gauge"); got != 1 {
+		t.Fatalf("zng_jobs TYPE header emitted %d times", got)
+	}
+}
+
+func TestPromHistogram(t *testing.T) {
+	var h latency.Histogram
+	h.Observe(500 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	var p Prom
+	p.Histogram("zng_sim_duration_seconds", "sim wall time", &h,
+		Label{Name: "endpoint", Value: "/v1/run"})
+	out := string(p.Bytes())
+
+	for _, want := range []string{
+		"# TYPE zng_sim_duration_seconds histogram\n",
+		`zng_sim_duration_seconds_bucket{endpoint="/v1/run",le="`,
+		`le="+Inf"} 2` + "\n",
+		`zng_sim_duration_seconds_sum{endpoint="/v1/run"} `,
+		`zng_sim_duration_seconds_count{endpoint="/v1/run"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: every count monotonically non-decreasing.
+	prev := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "zng_sim_duration_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var p Prom
+	p.Counter("zng_test_total", "t", 1, Label{Name: "detail", Value: "a\"b\\c\nd"})
+	out := string(p.Bytes())
+	if !strings.Contains(out, `detail="a\"b\\c\nd"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "sync"
+
+// Ring is the flight recorder: a bounded circular buffer of completed
+// spans. Writes are O(1) — one short critical section, no allocation
+// past the fixed backing array — and the bound means a misbehaving
+// trace source can only ever evict history, never grow memory. Safe
+// for concurrent use.
+type Ring struct {
+	mu sync.Mutex
+	// buf is the circular backing array. guarded by mu.
+	buf []Record
+	// next is the index the next record lands in. guarded by mu.
+	next int
+	// wrapped reports that the buffer has filled at least once, so
+	// every slot is live. guarded by mu.
+	wrapped bool
+	// total counts every record ever accepted. guarded by mu.
+	total uint64
+	// dropped counts records the bound overwrote. guarded by mu.
+	dropped uint64
+}
+
+// NewRing builds a recorder holding at most capacity records
+// (capacity <= 0 uses DefaultCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Add lands one record, overwriting the oldest once full.
+func (r *Ring) Add(rec Record) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the live records out, oldest first.
+func (r *Ring) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]Record(nil), r.buf[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Stats reports the cumulative accepted and overwritten counts.
+func (r *Ring) Stats() (total, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.dropped
+}
+
+// Len reports the current number of live records.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"zng/internal/latency"
+)
+
+// StageStat summarizes one span kind's latency across a set of
+// records — the per-stage p50/p95 breakdown zngsweep -v and zngload
+// print, and the GET /v1/trace/stats document.
+type StageStat struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+}
+
+// Stages folds records into per-name latency summaries, sorted by
+// name. The quantiles come from internal/latency's fixed-bucket
+// histogram, so they match what /metrics reports for the same data.
+func Stages(recs []Record) []StageStat {
+	hists := map[string]*latency.Histogram{}
+	for _, r := range recs {
+		h := hists[r.Name]
+		if h == nil {
+			h = &latency.Histogram{}
+			hists[r.Name] = h
+		}
+		h.Observe(time.Duration(r.DurUS) * time.Microsecond)
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StageStat, len(names))
+	for i, name := range names {
+		h := hists[name]
+		s := h.Snapshot()
+		out[i] = StageStat{Name: name, Count: s.Count, P50MS: s.P50MS, P95MS: s.P95MS}
+	}
+	return out
+}
+
+// Stages summarizes the whole flight recorder per span kind.
+func (t *Tracer) Stages() []StageStat {
+	if t == nil {
+		return nil
+	}
+	return Stages(t.Records())
+}

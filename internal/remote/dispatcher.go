@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zng/internal/config"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/workload"
 )
@@ -37,6 +38,10 @@ var ErrNoPeers = errors.New("remote: dispatcher has no peers")
 type Dispatcher struct {
 	cooldown time.Duration
 	timeout  time.Duration // applied to peers added later, too
+	// tr records a peer span per dispatch attempt and ingests the
+	// worker-side spans piggybacked on replies. Set once via SetTracer
+	// before the dispatcher serves traffic; nil dispatches untraced.
+	tr *obs.Tracer
 
 	mu sync.Mutex
 	// peers is the current membership, in registration order.
@@ -161,6 +166,12 @@ func (d *Dispatcher) Reassigned() uint64 {
 	return d.reassigned
 }
 
+// SetTracer wires a tracer into the dispatcher: traced runs
+// (RunTraced) record one "peer" span per attempt and ingest the
+// worker-side spans each peer piggybacks on its replies. Call before
+// the dispatcher serves traffic.
+func (d *Dispatcher) SetTracer(t *obs.Tracer) { d.tr = t }
+
 // SetTimeout overrides every peer client's per-request timeout,
 // including peers added later.
 func (d *Dispatcher) SetTimeout(t time.Duration) {
@@ -238,6 +249,20 @@ func (d *Dispatcher) pick(tried map[*peer]bool) *peer {
 // reports a deterministic simulation error. An empty fleet fails
 // fast with ErrNoPeers.
 func (d *Dispatcher) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return d.run(obs.SpanContext{}, kind, mix, scale, cfg)
+}
+
+// RunTraced is Run under the caller's span context: each dispatch
+// attempt records a "peer" span (detail: the peer's address) and the
+// worker's own spans come back piggybacked and land in this
+// dispatcher's tracer, so a cell that hopped workers after a fault
+// still reads as one tree. It implements campaign.TracedRunner.
+func (d *Dispatcher) RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return d.run(sc, kind, mix, scale, cfg)
+}
+
+func (d *Dispatcher) run(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	traced := d.tr != nil && sc.Valid()
 	tried := map[*peer]bool{}
 	var faults []error
 	for {
@@ -249,7 +274,17 @@ func (d *Dispatcher) Run(kind platform.Kind, mix workload.Mix, scale float64, cf
 			return platform.Result{}, fmt.Errorf("remote: all %d peers failed: %w", len(faults), errors.Join(faults...))
 		}
 		tried[p] = true
-		res, err := p.client.Run(kind, mix, scale, cfg)
+		var res platform.Result
+		var err error
+		if traced {
+			span := d.tr.StartSpan(sc, "peer", p.client.Addr())
+			var spans []obs.Record
+			res, spans, err = p.client.RunTraced(span.Context(), kind, mix, scale, cfg)
+			d.tr.Ingest(spans)
+			span.EndErr(err)
+		} else {
+			res, err = p.client.Run(kind, mix, scale, cfg)
+		}
 		d.mu.Lock()
 		p.inflight--
 		var pe *PeerError

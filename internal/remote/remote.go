@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"zng/internal/config"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/report"
 	"zng/internal/workload"
@@ -110,6 +111,10 @@ type envelope struct {
 		Error string `json:"error"`
 	} `json:"job"`
 	Result json.RawMessage `json:"result"`
+	// Spans is the worker-side span subtree of a traced request,
+	// piggybacked on the poll reply that observed the job complete so
+	// the caller's flight recorder holds the whole cross-process tree.
+	Spans []obs.Record `json:"spans"`
 }
 
 // Run implements the Runner interface against the peer: submit the
@@ -120,6 +125,24 @@ type envelope struct {
 // cell but keep their own labels, matching the local runners'
 // contract).
 func (c *Client) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	r, _, err := c.run(obs.SpanContext{}, kind, mix, scale, cfg)
+	return r, err
+}
+
+// RunTraced is Run carrying the caller's span context in the
+// X-Zng-Trace header on the submit and every poll, so the peer
+// parents its own spans (queue wait, tier lookups, simulation) under
+// sc. The returned records are the peer-side span subtree piggybacked
+// on the final poll reply — the caller ingests them into its own
+// flight recorder to complete the cross-process tree. Spans may be
+// non-empty even when err is a deterministic simulation error (the
+// failing sim span is part of the story); they are empty on
+// peer-level faults.
+func (c *Client) RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, []obs.Record, error) {
+	return c.run(sc, kind, mix, scale, cfg)
+}
+
+func (c *Client) run(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, []obs.Record, error) {
 	body, err := json.Marshal(runRequest{
 		Platform: kind.String(),
 		Apps:     appsArg(mix),
@@ -128,51 +151,51 @@ func (c *Client) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg co
 		Config:   &cfg,
 	})
 	if err != nil {
-		return platform.Result{}, fmt.Errorf("remote: encoding request: %w", err)
+		return platform.Result{}, nil, fmt.Errorf("remote: encoding request: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+"/v1/run", "application/json", bytes.NewReader(body))
+	resp, err := c.post(sc, "/v1/run", body)
 	if err != nil {
-		return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+		return platform.Result{}, nil, &PeerError{Peer: c.base, Err: err}
 	}
 	env, err := decodeEnvelope(resp)
 	if err != nil {
-		return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+		return platform.Result{}, nil, &PeerError{Peer: c.base, Err: err}
 	}
 	if resp.StatusCode != http.StatusAccepted || env.Job.ID == "" {
 		// 503 (draining), 4xx against this client's own request shape,
 		// or anything else unexpected: a peer-level fault the
 		// dispatcher can route around.
-		return platform.Result{}, &PeerError{Peer: c.base, Err: fmt.Errorf("submit status %d: %s", resp.StatusCode, errText(env))}
+		return platform.Result{}, nil, &PeerError{Peer: c.base, Err: fmt.Errorf("submit status %d: %s", resp.StatusCode, errText(env))}
 	}
 
 	delay := c.poll
 	for {
-		resp, err := c.hc.Get(c.base + "/v1/jobs/" + env.Job.ID)
+		resp, err := c.get(sc, "/v1/jobs/"+env.Job.ID)
 		if err != nil {
-			return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+			return platform.Result{}, nil, &PeerError{Peer: c.base, Err: err}
 		}
 		env, err := decodeEnvelope(resp)
 		if err != nil {
-			return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+			return platform.Result{}, nil, &PeerError{Peer: c.base, Err: err}
 		}
 		switch {
 		case resp.StatusCode != http.StatusOK:
 			// Includes an evicted job id (404): the cell's outcome is
 			// no longer observable here, so let the dispatcher re-route.
-			return platform.Result{}, &PeerError{Peer: c.base, Err: fmt.Errorf("poll status %d: %s", resp.StatusCode, errText(env))}
+			return platform.Result{}, nil, &PeerError{Peer: c.base, Err: fmt.Errorf("poll status %d: %s", resp.StatusCode, errText(env))}
 		case env.Job.State == "error":
 			// The peer ran the cell and the simulation itself failed —
 			// deterministic, so another peer would only repeat it.
-			return platform.Result{}, fmt.Errorf("remote: simulation failed on %s: %s", c.base, env.Job.Error)
+			return platform.Result{}, env.Spans, fmt.Errorf("remote: simulation failed on %s: %s", c.base, env.Job.Error)
 		case env.Job.State == "done":
 			r, err := report.DecodeResult(env.Result)
 			if err != nil {
-				return platform.Result{}, &PeerError{Peer: c.base, Err: err}
+				return platform.Result{}, nil, &PeerError{Peer: c.base, Err: err}
 			}
 			if mix.Name != "" {
 				r.Workload = mix.Name
 			}
-			return r, nil
+			return r, env.Spans, nil
 		}
 		time.Sleep(delay)
 		// Back off toward one-second polls so long cells cost the peer
@@ -181,6 +204,32 @@ func (c *Client) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg co
 			delay = time.Second
 		}
 	}
+}
+
+// post issues one POST with the trace header attached when sc is
+// valid.
+func (c *Client) post(sc obs.SpanContext, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc.Valid() {
+		req.Header.Set(obs.Header, sc.Encode())
+	}
+	return c.hc.Do(req)
+}
+
+// get issues one GET with the trace header attached when sc is valid.
+func (c *Client) get(sc obs.SpanContext, path string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Valid() {
+		req.Header.Set(obs.Header, sc.Encode())
+	}
+	return c.hc.Do(req)
 }
 
 // decodeEnvelope reads one reply; an undecodable body (proxy page,

@@ -11,11 +11,14 @@ import (
 	"strconv"
 	"time"
 
+	"strings"
+
 	"zng/internal/campaign"
 	"zng/internal/config"
 	"zng/internal/experiments"
 	"zng/internal/fleet"
 	"zng/internal/latency"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/report"
 	"zng/internal/workload"
@@ -50,6 +53,10 @@ type runRequest struct {
 type runResponse struct {
 	Job    JobInfo         `json:"job"`
 	Result json.RawMessage `json:"result,omitempty"`
+	// Spans piggybacks this process's span subtree for a traced request
+	// (X-Zng-Trace present) once the job completes, so the caller's
+	// flight recorder reconstructs the cross-process tree.
+	Spans []obs.Record `json:"spans,omitempty"`
 }
 
 // scenarioInfo is one GET /v1/scenarios row.
@@ -120,8 +127,11 @@ type fleetHeartbeatRequest struct {
 //	GET  /v1/campaigns/{id}  one campaign's progress (+ matrix once done)
 //	GET  /v1/scenarios       the workload scenario registry
 //	GET  /v1/platforms       the platform vocabulary
+//	GET  /v1/trace           flight-recorder trace summaries (filterable)
+//	GET  /v1/trace/stats     per-stage latency breakdown over recorded spans
+//	GET  /v1/trace/{id}      one trace's full span tree
 //	GET  /healthz            liveness
-//	GET  /metrics            expvar-style counters
+//	GET  /metrics            counters (JSON, or Prometheus text with ?format=prom)
 //
 // Every reply — success, validation failure, unknown path, wrong
 // method — is a JSON document; errors are {"error": ...} with the
@@ -147,11 +157,19 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 	}
 	fc := ho.fleet
 	mux := http.NewServeMux()
+	// The service's tracer (nil when the daemon runs untraced): run
+	// requests join the caller's trace via X-Zng-Trace or root a
+	// sampled one, and locally managed campaigns root their own. With a
+	// fleet coordinator the campaign side uses the coordinator's tracer
+	// (the daemon wires the same instance into both).
+	tr := svc.Tracer()
 	var mgr CampaignManager
 	if fc != nil {
 		mgr = fc.Campaigns()
 	} else {
-		mgr = campaign.NewManager(svc, cfg, 0)
+		pm := campaign.NewManager(svc, cfg, 0)
+		pm.SetTracer(tr)
+		mgr = pm
 	}
 
 	// Per-endpoint latency histograms. The map is fully populated
@@ -216,19 +234,37 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("scale must be positive, got %v", scale))
 			return
 		}
-		request := Request{Kind: kind, Mix: mix, Scale: scale, Cfg: *req.Config, Priority: req.Priority}
+		// One ingress span per accepted run: join the propagated trace
+		// when X-Zng-Trace carries one (a coordinator's peer span),
+		// otherwise root a sampled local trace. The span ends before any
+		// reply is written, so a traced submitter's very first poll
+		// already finds it in the flight recorder.
+		headerCtx, hasHeader := obs.DecodeContext(r.Header.Get(obs.Header))
+		var span *obs.Span
+		if hasHeader {
+			span = tr.StartSpan(headerCtx, "http", "POST /v1/run")
+		} else {
+			span = tr.SampledRoot("http", "POST /v1/run")
+		}
+		request := Request{Kind: kind, Mix: mix, Scale: scale, Cfg: *req.Config, Priority: req.Priority, Trace: span.Context()}
 		if req.Async {
 			job, err := svc.SubmitJob(request)
 			if errors.Is(err, ErrOverloaded) {
+				span.SetCode(http.StatusTooManyRequests)
+				span.EndErr(err)
 				writeOverloaded(w, svc, err)
 				return
 			}
 			if err != nil {
 				// Beyond overload, only shutdown rejects a well-formed
 				// submission.
+				span.SetCode(http.StatusServiceUnavailable)
+				span.EndErr(err)
 				writeErr(w, http.StatusServiceUnavailable, err)
 				return
 			}
+			span.SetCode(http.StatusAccepted)
+			span.End()
 			writeJSON(w, http.StatusAccepted, runResponse{Job: job})
 			return
 		}
@@ -236,10 +272,14 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 		// between completion and reply cannot lose the result.
 		res, job, err := svc.DoJob(request)
 		if errors.Is(err, ErrOverloaded) {
+			span.SetCode(http.StatusTooManyRequests)
+			span.EndErr(err)
 			writeOverloaded(w, svc, err)
 			return
 		}
 		if errors.Is(err, ErrClosed) && job.ID == "" {
+			span.SetCode(http.StatusServiceUnavailable)
+			span.EndErr(err)
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -248,13 +288,21 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 			if errors.Is(err, ErrClosed) {
 				status = http.StatusServiceUnavailable
 			}
+			span.SetCode(status)
+			span.EndErr(err)
 			writeJSON(w, status, struct {
 				Error string  `json:"error"`
 				Job   JobInfo `json:"job"`
 			}{err.Error(), job})
 			return
 		}
-		writeJSON(w, http.StatusOK, runResponse{Job: job, Result: report.EncodeResult(res)})
+		span.SetCode(http.StatusOK)
+		span.End()
+		resp := runResponse{Job: job, Result: report.EncodeResult(res)}
+		if hasHeader {
+			resp.Spans = tr.Subtree(headerCtx)
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 
 	timed("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -284,6 +332,15 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 				res.Workload = job.Workload
 			}
 			resp.Result = report.EncodeResult(res)
+		}
+		// A traced poller (X-Zng-Trace) observing the job complete gets
+		// this process's span subtree piggybacked — the worker half of a
+		// cross-process trace. Polls themselves are not spanned; the
+		// header only scopes the subtree to the caller's peer span.
+		if job.State == StateDone || job.State == StateError {
+			if sc, ok := obs.DecodeContext(r.Header.Get(obs.Header)); ok {
+				resp.Spans = tr.Subtree(sc)
+			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -447,6 +504,74 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 		}{platform.KindNames()})
 	})
 
+	timed("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var minUS int64
+		if s := q.Get("min_ms"); s != "" {
+			ms, err := strconv.ParseFloat(s, 64)
+			if err != nil || ms < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", s))
+				return
+			}
+			minUS = int64(ms * 1000)
+		}
+		status := 0
+		if s := q.Get("status"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad status %q", s))
+				return
+			}
+			status = n
+		}
+		endpoint := q.Get("endpoint")
+		out := []obs.Summary{}
+		for _, sum := range tr.Summaries() {
+			if endpoint != "" && !strings.Contains(sum.Detail, endpoint) {
+				continue
+			}
+			if status != 0 && sum.Code != status {
+				continue
+			}
+			if sum.DurUS < minUS {
+				continue
+			}
+			out = append(out, sum)
+		}
+		total, dropped := tr.RingStats()
+		writeJSON(w, http.StatusOK, struct {
+			Traces       []obs.Summary `json:"traces"`
+			SpansTotal   uint64        `json:"spans_total"`
+			SpansDropped uint64        `json:"spans_dropped"`
+		}{out, total, dropped})
+	})
+
+	timed("GET /v1/trace/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Stages []obs.StageStat `json:"stages"`
+		}{tr.Stages()})
+	})
+
+	timed("GET /v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.PathValue("id")
+		id, ok := obs.ParseID(raw)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad trace id %q (want 16 hex digits)", raw))
+			return
+		}
+		// The full tree, worker spans included (they were ingested when
+		// the dispatcher's polls piggybacked them), sorted by start.
+		recs := tr.Trace(id)
+		if len(recs) == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no spans recorded for trace %s", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Trace obs.ID       `json:"trace"`
+			Spans []obs.Record `json:"spans"`
+		}{id, recs})
+	})
+
 	timed("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
@@ -454,6 +579,10 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 	})
 
 	timed("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantProm(r) {
+			writeProm(w, svc, fc, hists)
+			return
+		}
 		writeJSON(w, http.StatusOK, metrics(svc, fc, hists))
 	})
 
@@ -477,8 +606,13 @@ func NewHandler(svc *Service, cfg config.Config, opts ...HandlerOption) http.Han
 		"/v1/fleet/heartbeat":       "POST",
 		"/v1/scenarios":             "GET",
 		"/v1/platforms":             "GET",
-		"/healthz":                  "GET",
-		"/metrics":                  "GET",
+		"/v1/trace":                 "GET",
+		// No method-less "/v1/trace/stats": it would out-specialize
+		// "GET /v1/trace/{id}" across methods and ServeMux rejects the
+		// pair; wrong-method stats requests land on the {id} fallback.
+		"/v1/trace/{id}": "GET",
+		"/healthz":       "GET",
+		"/metrics":       "GET",
 	} {
 		allow := allow
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -498,6 +632,10 @@ type campaignInfo struct {
 	Name     string            `json:"name,omitempty"`
 	State    string            `json:"state"` // "running" or "done"
 	Progress campaign.Progress `json:"progress"`
+	// Trace is the campaign's root trace id, resolvable at
+	// GET /v1/trace/{id} while the flight recorder retains it. Absent
+	// on untraced daemons.
+	Trace string `json:"trace,omitempty"`
 }
 
 // campaignDetail extends the status with the finished campaign's
@@ -522,7 +660,11 @@ func campaignStatus(c *campaign.Campaign) campaignInfo {
 	if c.Done() {
 		state = "done"
 	}
-	return campaignInfo{ID: c.ID, Name: c.Spec.Name, State: state, Progress: c.Progress()}
+	info := campaignInfo{ID: c.ID, Name: c.Spec.Name, State: state, Progress: c.Progress()}
+	if t := c.Trace(); t != 0 {
+		info.Trace = t.String()
+	}
+	return info
 }
 
 // metricsDoc is the /metrics document: the runner counters plus job,
@@ -602,6 +744,76 @@ func metrics(svc *Service, fc *fleet.Coordinator, hists map[string]*latency.Hist
 		}
 	}
 	return doc
+}
+
+// wantProm reports whether the scraper asked for Prometheus text
+// exposition: ?format=prom, or an Accept header naming text/plain or
+// openmetrics (Prometheus sends both). Plain curl and the JSON
+// clients send Accept: */* and keep the JSON document.
+func wantProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// writeProm renders the metrics document in Prometheus text
+// exposition format 0.0.4: every counter and gauge as a zng_* series,
+// plus full histograms (_bucket/_sum/_count, in seconds) for the
+// per-simulation latency and every HTTP endpoint.
+func writeProm(w http.ResponseWriter, svc *Service, fc *fleet.Coordinator, hists map[string]*latency.Histogram) {
+	doc := metrics(svc, fc, hists)
+	var p obs.Prom
+	p.Counter("zng_sims_total", "Simulations executed.", float64(doc.Sims))
+	p.Counter("zng_memory_hits_total", "Requests served from the memory result tier.", float64(doc.MemoryHits))
+	p.Counter("zng_disk_hits_total", "Requests served from the disk store.", float64(doc.DiskHits))
+	p.Counter("zng_coalesced_total", "Requests coalesced onto an identical in-flight cell.", float64(doc.Coalesced))
+	for _, s := range []struct {
+		state string
+		n     int
+	}{
+		{"queued", doc.JobsQueued},
+		{"running", doc.JobsRunning},
+		{"done", doc.JobsDone},
+		{"error", doc.JobsError},
+	} {
+		p.Gauge("zng_jobs", "Jobs in the retention window by state.",
+			float64(s.n), obs.Label{Name: "state", Value: s.state})
+	}
+	p.Counter("zng_jobs_evicted_total", "Finished jobs evicted by retention.", float64(doc.JobsEvicted))
+	p.Counter("zng_jobs_rejected_total", "Submissions rejected by admission control.", float64(doc.JobsRejected))
+	p.Gauge("zng_store_entries", "Results in the disk store.", float64(doc.StoreEntries))
+	p.Gauge("zng_tier_entries", "Results in the memory tier.", float64(doc.TierEntries))
+	p.Gauge("zng_tier_capacity", "Memory tier capacity.", float64(doc.TierCapacity))
+	p.Counter("zng_tier_hits_total", "Memory tier hits.", float64(doc.TierHits))
+	p.Counter("zng_tier_misses_total", "Memory tier misses.", float64(doc.TierMisses))
+	p.Counter("zng_tier_evictions_total", "Memory tier LRU evictions.", float64(doc.TierEvictions))
+	p.Gauge("zng_tier_negatives", "Negative (deterministic-failure) entries in the memory tier.", float64(doc.TierNegatives))
+	if doc.Fleet != nil {
+		p.Gauge("zng_fleet_peers_live", "Registered, un-expired workers.", float64(doc.Fleet.PeersLive))
+		p.Counter("zng_fleet_peers_dead_total", "Heartbeat expiries since start.", float64(doc.Fleet.PeersDead))
+		p.Counter("zng_fleet_cells_reassigned_total", "Cells rerouted after a peer fault.", float64(doc.Fleet.CellsReassigned))
+		p.Counter("zng_fleet_campaigns_resumed_total", "Campaigns started over a non-empty journal.", float64(doc.Fleet.CampaignsResumed))
+	}
+	if tr := svc.Tracer(); tr != nil {
+		total, dropped := tr.RingStats()
+		p.Counter("zng_trace_spans_total", "Spans recorded by the flight recorder.", float64(total))
+		p.Counter("zng_trace_spans_dropped_total", "Spans overwritten before being read.", float64(dropped))
+	}
+	p.Histogram("zng_sim_duration_seconds", "Wall-clock per executed simulation.", svc.SimHistogram())
+	endpoints := make([]string, 0, len(hists))
+	for pattern := range hists {
+		endpoints = append(endpoints, pattern)
+	}
+	sort.Strings(endpoints)
+	for _, pattern := range endpoints {
+		p.Histogram("zng_http_request_duration_seconds", "Wall-clock per HTTP request.",
+			hists[pattern], obs.Label{Name: "endpoint", Value: pattern})
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(p.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -54,6 +54,7 @@ import (
 	"zng/internal/config"
 	"zng/internal/experiments"
 	"zng/internal/latency"
+	"zng/internal/obs"
 	"zng/internal/platform"
 	"zng/internal/restier"
 	"zng/internal/store"
@@ -100,6 +101,12 @@ type Config struct {
 	// Memory hits, tier hits and coalesced attaches are always
 	// admitted.
 	MaxQueue int
+	// Tracer, when set, records per-request spans (queue wait,
+	// coalesce attach, tier lookups, simulation, store write-through)
+	// for requests that carry a valid trace context. nil — or an
+	// untraced request — costs the hot path nothing beyond a struct
+	// comparison.
+	Tracer *obs.Tracer
 }
 
 // State is a job's lifecycle phase.
@@ -121,6 +128,10 @@ type Request struct {
 	Scale    float64
 	Cfg      config.Config
 	Priority int
+	// Trace, when valid, parents the spans this request's lifecycle
+	// records (the zero value means untraced — the sampled-out case —
+	// and no clock is read on the request's behalf).
+	Trace obs.SpanContext
 }
 
 // JobInfo is the externally visible snapshot of one job, shaped for
@@ -176,6 +187,14 @@ type job struct {
 	// from it, or written through successfully), making the job
 	// evictable: a future request re-serves the cell from disk.
 	persisted bool
+	// trace is the first traced submitter's span context — the parent
+	// the job's worker-side spans (queue, tier, sim, store.put) record
+	// under. Written at admission before the job is published, read
+	// only by the worker that popped it.
+	trace obs.SpanContext
+	// enq is the admission instant feeding the queue-wait span; set
+	// only when the job is traced.
+	enq time.Time
 }
 
 func (j *job) info() JobInfo {
@@ -204,6 +223,9 @@ type Service struct {
 	maxJobs  int
 	maxQueue int
 	workers  int
+	// tr records request-lifecycle spans; nil disables tracing (every
+	// obs call site is nil-safe and short-circuits).
+	tr *obs.Tracer
 	// simHist records wall-clock per-simulation latency (serving-layer
 	// observability only — simulation results never depend on it). It
 	// is internally atomic, so workers record without the service lock.
@@ -254,6 +276,7 @@ func New(cfg Config) *Service {
 		maxJobs:  cfg.MaxJobs,
 		maxQueue: cfg.MaxQueue,
 		workers:  cfg.Workers,
+		tr:       cfg.Tracer,
 		keys:     map[keyID]string{},
 		cells:    map[string]*job{},
 		jobs:     map[string]*job{},
@@ -318,10 +341,12 @@ func (s *Service) submit(req Request) (*job, string, error) {
 			// The completed cell answered from memory, whatever tier
 			// originally computed it.
 			s.stats.MemoryHits++
+			s.note(req, memTierName(j.err), j.err)
 			return j, "memory", nil
 		default:
 			s.stats.Coalesced++
 			j.waiters++
+			s.note(req, "coalesce", nil)
 			// A higher-priority attach promotes a still-queued job,
 			// otherwise the new request would silently inherit the old
 			// queue position — priority inversion.
@@ -340,6 +365,7 @@ func (s *Service) submit(req Request) (*job, string, error) {
 	// lock.
 	if r, negErr, ok := s.tier.GetMem(key); ok {
 		s.stats.MemoryHits++
+		s.note(req, memTierName(negErr), negErr)
 		s.nextID++
 		j := &job{
 			id:     fmt.Sprintf("job-%d", s.nextID),
@@ -385,6 +411,10 @@ func (s *Service) submit(req Request) (*job, string, error) {
 		key:   key,
 		state: StateQueued,
 		done:  make(chan struct{}),
+	}
+	if s.tr != nil && req.Trace.Valid() {
+		j.trace = req.Trace
+		j.enq = time.Now()
 	}
 	s.cells[key] = j
 	s.jobs[j.id] = j
@@ -463,6 +493,39 @@ func (s *Service) SubmitJob(req Request) (JobInfo, error) {
 // code path the figure drivers, CLIs and daemon share.
 func (s *Service) Run(kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
 	return s.Do(Request{Kind: kind, Mix: mix, Scale: scale, Cfg: cfg})
+}
+
+// RunTraced is Run with the caller's span context attached: the
+// request's lifecycle (queue wait, coalesce, tier lookups,
+// simulation, store write-through) records as spans parented under
+// sc. It implements campaign.TracedRunner.
+func (s *Service) RunTraced(sc obs.SpanContext, kind platform.Kind, mix workload.Mix, scale float64, cfg config.Config) (platform.Result, error) {
+	return s.Do(Request{Kind: kind, Mix: mix, Scale: scale, Cfg: cfg, Trace: sc})
+}
+
+// Tracer exposes the service's tracer (nil when tracing is off) so
+// the HTTP layer shares one flight recorder with the scheduler.
+func (s *Service) Tracer() *obs.Tracer { return s.tr }
+
+// note records a zero-duration marker span — admission-time outcomes
+// (memo hit, coalesce attach, memory-tier hit) that have no
+// meaningful extent — for traced requests only. Untraced requests pay
+// two comparisons. Called with mu held; the ring has its own brief
+// lock and never calls back into the service.
+func (s *Service) note(req Request, name string, err error) {
+	if s.tr == nil || !req.Trace.Valid() {
+		return
+	}
+	s.tr.Observe(req.Trace, name, "", time.Now(), 0, err)
+}
+
+// memTierName names a memory-layer answer's span: a cached
+// deterministic failure reads as the negative tier.
+func memTierName(err error) string {
+	if err != nil {
+		return "tier.negative"
+	}
+	return "tier.memory"
 }
 
 // Job snapshots one job by id.
@@ -558,25 +621,54 @@ func (s *Service) worker() {
 		s.running++
 		s.mu.Unlock()
 
+		// Traced jobs record their lifecycle; untraced ones never read
+		// the clock on tracing's behalf.
+		traced := s.tr != nil && j.trace.Valid()
+		var tierStart time.Time
+		if traced {
+			now := time.Now()
+			s.tr.Observe(j.trace, "queue", "", j.enq, now.Sub(j.enq), nil)
+			tierStart = now
+		}
 		if r, negErr, tier := s.tier.Get(j.key); tier != restier.TierNone {
 			// A disk hit was promoted into the memory tier on the way
 			// through; either way the result is already persisted. A
 			// negative hit (a concurrent request cached the failure after
 			// this job was admitted) replays the deterministic error —
 			// failed jobs are evictable regardless of persistence.
+			if traced {
+				name := "tier." + tier.String()
+				if negErr != nil {
+					name = "tier.negative"
+				}
+				s.tr.Observe(j.trace, name, "", tierStart, time.Since(tierStart), negErr)
+			}
 			s.finish(j, r, negErr, tier.String(), negErr == nil, 0)
 			continue
+		}
+		var simSpan *obs.Span
+		if traced {
+			s.tr.Observe(j.trace, "tier.miss", "", tierStart, time.Since(tierStart), nil)
+			simSpan = s.tr.StartSpan(j.trace, "sim", j.req.Kind.String()+"/"+j.req.Mix.ID())
 		}
 		start := time.Now()
 		r, err := s.runCell(j)
 		simDur := time.Since(start)
+		simSpan.EndErr(err)
 		persisted := false
 		if err == nil {
 			// tier.Put writes the store first, then the memory tier. A
 			// failed write-through only costs a future re-simulation; the
 			// in-memory result this job now carries stays valid (but the
 			// job is not evictable — disk could not back it up).
+			var putStart time.Time
+			if traced {
+				putStart = time.Now()
+			}
 			persisted = s.tier.Put(j.key, r)
+			if traced {
+				s.tr.Observe(j.trace, "store.put", "", putStart, time.Since(putStart), nil)
+			}
 		} else {
 			// Every error that reaches a worker is deterministic — the
 			// simulator is a pure function of the cell, and runCell folds
@@ -714,6 +806,11 @@ func (s *Service) TierStats() restier.CacheStats { return s.tier.CacheStats() }
 // SimLatency summarizes recent per-simulation wall-clock latency —
 // the latency.sim block in /metrics.
 func (s *Service) SimLatency() latency.Snapshot { return s.simHist.Snapshot() }
+
+// SimHistogram exposes the per-simulation latency histogram itself,
+// so the Prometheus emitter renders real _bucket series instead of
+// re-deriving them from a quantile snapshot.
+func (s *Service) SimHistogram() *latency.Histogram { return &s.simHist }
 
 // RetryAfter estimates how long an ErrOverloaded caller should back
 // off before retrying: the recent per-simulation latency (EWMA) times
